@@ -1,0 +1,13 @@
+"""A4 — bytecode optimizer ablation (constant folding / DCE / threading).
+
+Regenerates experiment A4 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See ``repro/bench/experiments/exp_a4_optimizer.py``
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_a4_optimizer
+
+
+def test_a4_optimizer(run_experiment):
+    experiment = run_experiment(exp_a4_optimizer)
+    assert experiment.experiment_id == "A4"

@@ -1,0 +1,13 @@
+"""A5 — pipelined dispatch ablation (queue-ahead vs assign-on-free-slot).
+
+Regenerates experiment A5 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See ``repro/bench/experiments/exp_a5_pipeline.py``
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_a5_pipeline
+
+
+def test_a5_pipeline(run_experiment):
+    experiment = run_experiment(exp_a5_pipeline)
+    assert experiment.experiment_id == "A5"

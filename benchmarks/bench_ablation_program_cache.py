@@ -1,0 +1,13 @@
+"""A3 — provider program cache ablation.
+
+Regenerates experiment A3 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_a3_cache.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_a3_cache
+
+
+def test_a3_cache(run_experiment):
+    experiment = run_experiment(exp_a3_cache)
+    assert experiment.experiment_id == "A3"

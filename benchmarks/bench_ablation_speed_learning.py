@@ -1,0 +1,13 @@
+"""A1 — EWMA speed learning ablation.
+
+Regenerates experiment A1 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_a1_misreport.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_a1_misreport
+
+
+def test_a1_misreport(run_experiment):
+    experiment = run_experiment(exp_a1_misreport)
+    assert experiment.experiment_id == "A1"

@@ -1,0 +1,13 @@
+"""A2 — result voting ablation.
+
+Regenerates experiment A2 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_a2_voting.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_a2_voting
+
+
+def test_a2_voting(run_experiment):
+    experiment = run_experiment(exp_a2_voting)
+    assert experiment.experiment_id == "A2"

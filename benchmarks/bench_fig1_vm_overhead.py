@@ -1,0 +1,13 @@
+"""F1 — TVM interpretation overhead vs native.
+
+Regenerates experiment F1 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f1_vm_overhead.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f1_vm_overhead
+
+
+def test_f1_vm_overhead(run_experiment):
+    experiment = run_experiment(exp_f1_vm_overhead)
+    assert experiment.experiment_id == "F1"

@@ -1,0 +1,13 @@
+"""F2 — middleware round-trip decomposition.
+
+Regenerates experiment F2 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f2_breakdown.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f2_breakdown
+
+
+def test_f2_breakdown(run_experiment):
+    experiment = run_experiment(exp_f2_breakdown)
+    assert experiment.experiment_id == "F2"

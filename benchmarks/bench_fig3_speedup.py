@@ -1,0 +1,13 @@
+"""F3 — speedup vs number of providers.
+
+Regenerates experiment F3 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f3_speedup.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f3_speedup
+
+
+def test_f3_speedup(run_experiment):
+    experiment = run_experiment(exp_f3_speedup)
+    assert experiment.experiment_id == "F3"

@@ -1,0 +1,13 @@
+"""F4 — scheduling strategies under heterogeneity.
+
+Regenerates experiment F4 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f4_heterogeneity.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f4_heterogeneity
+
+
+def test_f4_heterogeneity(run_experiment):
+    experiment = run_experiment(exp_f4_heterogeneity)
+    assert experiment.experiment_id == "F4"

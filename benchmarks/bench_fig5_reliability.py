@@ -1,0 +1,13 @@
+"""F5 — reliability under provider failures.
+
+Regenerates experiment F5 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f5_reliability.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f5_reliability
+
+
+def test_f5_reliability(run_experiment):
+    experiment = run_experiment(exp_f5_reliability)
+    assert experiment.experiment_id == "F5"

@@ -1,0 +1,13 @@
+"""F6 — the cost of redundant execution.
+
+Regenerates experiment F6 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f6_redundancy.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f6_redundancy
+
+
+def test_f6_redundancy(run_experiment):
+    experiment = run_experiment(exp_f6_redundancy)
+    assert experiment.experiment_id == "F6"

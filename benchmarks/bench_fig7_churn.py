@@ -1,0 +1,13 @@
+"""F7 — churn tolerance (duty-cycle sweep).
+
+Regenerates experiment F7 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f7_churn.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f7_churn
+
+
+def test_f7_churn(run_experiment):
+    experiment = run_experiment(exp_f7_churn)
+    assert experiment.experiment_id == "F7"

@@ -1,0 +1,13 @@
+"""F8 — real-transport wall-clock scaling.
+
+Regenerates experiment F8 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f8_tcp.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f8_tcp
+
+
+def test_f8_tcp(run_experiment):
+    experiment = run_experiment(exp_f8_tcp)
+    assert experiment.experiment_id == "F8"

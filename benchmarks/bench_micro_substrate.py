@@ -1,0 +1,98 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Unlike the experiment wrappers (one macro run each), these are classic
+pytest-benchmark microbenchmarks with statistical rounds: the VM's
+dispatch loop, the compiler pipeline, the wire codec, the scheduler's
+selection path, and the vote key.  They catch performance regressions in
+the pieces every experiment sits on.
+"""
+
+import random
+
+from repro.broker.registry import ProviderRegistry
+from repro.broker.scheduling import make_strategy
+from repro.common.ids import NodeId
+from repro.common.serde import FrameReader, pack_frame
+from repro.core import kernels
+from repro.core.qoc import QoC
+from repro.core.results import _vote_key
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import TVM, VMLimits
+
+
+def test_vm_dispatch_throughput(benchmark):
+    """Raw interpreter speed on the integer benchmark kernel."""
+    program = compile_source(kernels.PRIME_COUNT)
+
+    def run():
+        machine = TVM(program, limits=VMLimits(), seed=0, verify=False)
+        machine.run("main", [1500])
+        return machine.stats.instructions
+
+    instructions = benchmark(run)
+    assert instructions > 10_000
+
+
+def test_vm_float_kernel(benchmark):
+    """Float-heavy dispatch (mandelbrot row)."""
+    program = compile_source(kernels.MANDELBROT_ROW)
+    result = benchmark(
+        lambda: TVM(program, verify=False).run("main", [5, 64, 48, 24])
+    )
+    assert len(result) == 64
+
+
+def test_compile_pipeline(benchmark):
+    """Lex+parse+check+compile of a realistic kernel."""
+    program = benchmark(lambda: compile_source(kernels.MANDELBROT_ROW))
+    assert program.has_function("main")
+
+
+def test_program_wire_roundtrip(benchmark):
+    """Serialise + frame + parse one compiled program."""
+    program = compile_source(kernels.MANDELBROT_ROW)
+
+    def roundtrip():
+        frame = pack_frame(program.to_dict())
+        return FrameReader().feed(frame)[0]
+
+    payload = benchmark(roundtrip)
+    assert payload["version"] == 1
+
+
+def test_scheduler_selection(benchmark):
+    """One placement decision over a 100-provider registry."""
+    registry = ProviderRegistry()
+    rng = random.Random(7)
+    for index in range(100):
+        record = registry.register(
+            provider_id=NodeId(f"p{index:03d}"),
+            device_class=rng.choice(["server", "desktop", "sbc"]),
+            capacity=rng.randint(1, 8),
+            benchmark_score=rng.uniform(1e6, 2e8),
+            price=rng.uniform(0.5, 8.0),
+            now=0.0,
+        )
+        record.outstanding = rng.randint(0, record.capacity)
+    strategy = make_strategy("qoc", seed=1)
+    qoc = QoC.reliable(redundancy=3)
+
+    def select():
+        return strategy.select(registry.views(require_free_slot=True), 3, qoc)
+
+    chosen = benchmark(select)
+    assert len(chosen) == 3
+
+
+def test_vote_key_structured_result(benchmark):
+    """Canonical vote key of a nested result (the voting hot path)."""
+    value = [[float(i), i, f"s{i}", i % 2 == 0] for i in range(50)]
+    key = benchmark(lambda: _vote_key(value))
+    assert isinstance(key, str)
+
+
+def test_fingerprint_memoised(benchmark):
+    """Fingerprint access after memoisation must be trivially cheap."""
+    program = compile_source(kernels.MANDELBROT_ROW)
+    program.fingerprint()  # warm
+    assert benchmark(program.fingerprint) == program.fingerprint()

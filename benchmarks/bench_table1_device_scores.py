@@ -1,0 +1,13 @@
+"""T1 — device-class benchmark scores.
+
+Regenerates experiment T1 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_t1_devices.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_t1_devices
+
+
+def test_t1_devices(run_experiment):
+    experiment = run_experiment(exp_t1_devices)
+    assert experiment.experiment_id == "T1"

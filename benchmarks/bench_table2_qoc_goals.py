@@ -1,0 +1,13 @@
+"""T2 — QoC goals and their measured signatures.
+
+Regenerates experiment T2 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_t2_qoc.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_t2_qoc
+
+
+def test_t2_qoc(run_experiment):
+    experiment = run_experiment(exp_t2_qoc)
+    assert experiment.experiment_id == "T2"

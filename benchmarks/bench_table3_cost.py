@@ -1,0 +1,13 @@
+"""T3 — billed cost vs makespan across QoC goals (the compute market).
+
+Regenerates experiment T3 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See ``repro/bench/experiments/exp_t3_cost.py``
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_t3_cost
+
+
+def test_t3_cost(run_experiment):
+    experiment = run_experiment(exp_t3_cost)
+    assert experiment.experiment_id == "T3"

@@ -1,0 +1,69 @@
+"""Monte-Carlo π on an unreliable volunteer pool.
+
+Volunteer/edge providers crash, leave WiFi, and occasionally return
+garbage.  This example estimates π by distributed Monte-Carlo sampling on
+a pool where *every* provider silently drops 25% of results and one is
+byzantine (corrupts most of what it returns) — and still gets the right
+answer, by combining three QoC mechanisms:
+
+* deterministic per-Tasklet seeds -> replicas agree bit-for-bit;
+* redundancy 3 with majority voting -> corrupted values are outvoted;
+* re-issue on timeout -> dropped results are recovered.
+
+Run:  python examples/reliable_monte_carlo.py
+"""
+
+import random
+
+from repro import QoC, Simulation, make_pool
+from repro.broker.core import BrokerConfig
+from repro.core.kernels import MONTE_CARLO_PI
+from repro.provider.failure import ExecutionFailureModel
+
+TASKS = 24
+SAMPLES_PER_TASK = 4000
+
+
+def main() -> None:
+    simulation = Simulation(
+        seed=2026,
+        broker_config=BrokerConfig(execution_timeout=1.0),
+    )
+    pool = make_pool({"desktop": 3, "laptop": 2}, seed=3)
+    for index, config in enumerate(pool):
+        model = ExecutionFailureModel(
+            drop_probability=0.25,
+            corrupt_probability=0.9 if index == 0 else 0.0,  # one byzantine
+            rng=random.Random(1000 + index),
+        )
+        simulation.add_provider(config, failure_model=model)
+
+    consumer = simulation.add_consumer()
+    futures = consumer.library.map(
+        MONTE_CARLO_PI,
+        [[SAMPLES_PER_TASK] for _ in range(TASKS)],
+        qoc=QoC.reliable(redundancy=3, max_attempts=5),
+    )
+    makespan = simulation.run()
+
+    hits = sum(future.result(0) for future in futures)
+    total = TASKS * SAMPLES_PER_TASK
+    estimate = 4.0 * hits / total
+
+    stats = simulation.broker.stats
+    print(f"samples               : {total}")
+    print(f"pi estimate           : {estimate:.5f}")
+    print(f"error                 : {abs(estimate - 3.141592653589793):.5f}")
+    print(f"virtual makespan      : {makespan:.2f} s")
+    print(f"executions issued     : {stats.executions_issued} "
+          f"(for {TASKS} tasklets at redundancy 3)")
+    print(f"executions failed/lost: {stats.executions_failed}")
+    print(f"tasklets completed    : {stats.tasklets_completed}/{TASKS}")
+
+    assert stats.tasklets_completed == TASKS
+    assert abs(estimate - 3.14159) < 0.05, "estimate should be close to pi"
+    print("\nOK - correct despite drops and a byzantine provider")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP 660 editable-install support
+(and ``wheel`` is not installed), so ``pip install -e .`` needs the
+classic ``setup.py develop`` path: ``pip install -e . --no-build-isolation
+--no-use-pep517``.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Tasklets: a middleware for computation offloading across heterogeneous devices.
+
+Reproduction of *"Tasklets: Overcoming Heterogeneity in Distributed
+Computing Systems"* (Schäfer, Edinger, VanSyckel, Paluska, Becker —
+ICDCSW 2016).  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced evaluation.
+
+Public API tour::
+
+    from repro import Simulation, QoC, make_pool
+
+    sim = Simulation(seed=1)
+    for config in make_pool({"desktop": 4, "smartphone": 8}):
+        sim.add_provider(config)
+    consumer = sim.add_consumer()
+    future = consumer.library.submit(
+        "func main(n: int) -> int { return n * n; }", args=[12],
+        qoc=QoC.reliable(redundancy=3),
+    )
+    sim.run()
+    assert future.result(0) == 144
+
+For a real deployment on sockets, swap the simulator for
+:class:`repro.transport.tcp.TcpBroker` / ``TcpProvider`` / ``TcpConsumer``
+— the middleware cores are identical.
+"""
+
+from .broker import BrokerConfig, BrokerCore, make_strategy
+from .common.errors import (
+    ExecutionFailed,
+    QoCUnsatisfiable,
+    TaskletError,
+    TimeoutExpired,
+    VMError,
+)
+from .consumer import TaskletLibrary
+from .core import QoC, Tasklet, TaskletFuture, TaskletResult
+from .provider import ProviderConfig, ProviderCore, run_benchmark
+from .sim import ExponentialChurn, Simulation, make_pool
+from .tvm import CompiledProgram, compile_source, execute
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrokerConfig",
+    "BrokerCore",
+    "make_strategy",
+    "ExecutionFailed",
+    "QoCUnsatisfiable",
+    "TaskletError",
+    "TimeoutExpired",
+    "VMError",
+    "TaskletLibrary",
+    "QoC",
+    "Tasklet",
+    "TaskletFuture",
+    "TaskletResult",
+    "ProviderConfig",
+    "ProviderCore",
+    "run_benchmark",
+    "ExponentialChurn",
+    "Simulation",
+    "make_pool",
+    "CompiledProgram",
+    "compile_source",
+    "execute",
+    "__version__",
+]

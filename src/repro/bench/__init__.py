@@ -1,0 +1,24 @@
+"""Benchmark harness: tables, shape checks, simulation plumbing, experiments."""
+
+from .harness import (
+    Experiment,
+    ShapeCheck,
+    Table,
+    geometric_mean,
+    monotone_decreasing,
+    monotone_increasing,
+    sweep,
+)
+from .simlib import RunOutcome, run_workload
+
+__all__ = [
+    "Experiment",
+    "ShapeCheck",
+    "Table",
+    "geometric_mean",
+    "monotone_decreasing",
+    "monotone_increasing",
+    "sweep",
+    "RunOutcome",
+    "run_workload",
+]

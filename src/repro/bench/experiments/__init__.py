@@ -1,0 +1,42 @@
+"""The reconstructed evaluation: one module per table/figure (see DESIGN.md §3)."""
+
+from . import (
+    exp_a1_misreport,
+    exp_a2_voting,
+    exp_a3_cache,
+    exp_a4_optimizer,
+    exp_a5_pipeline,
+    exp_f1_vm_overhead,
+    exp_f2_breakdown,
+    exp_f3_speedup,
+    exp_f4_heterogeneity,
+    exp_f5_reliability,
+    exp_f6_redundancy,
+    exp_f7_churn,
+    exp_f8_tcp,
+    exp_t1_devices,
+    exp_t2_qoc,
+    exp_t3_cost,
+)
+
+#: Registry in paper order; each value is a module with ``run(quick) -> Experiment``.
+ALL_EXPERIMENTS = {
+    "T1": exp_t1_devices,
+    "T2": exp_t2_qoc,
+    "T3": exp_t3_cost,
+    "F1": exp_f1_vm_overhead,
+    "F2": exp_f2_breakdown,
+    "F3": exp_f3_speedup,
+    "F4": exp_f4_heterogeneity,
+    "F5": exp_f5_reliability,
+    "F6": exp_f6_redundancy,
+    "F7": exp_f7_churn,
+    "F8": exp_f8_tcp,
+    "A1": exp_a1_misreport,
+    "A2": exp_a2_voting,
+    "A3": exp_a3_cache,
+    "A4": exp_a4_optimizer,
+    "A5": exp_a5_pipeline,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

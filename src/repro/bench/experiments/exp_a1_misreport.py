@@ -1,0 +1,121 @@
+"""A1 — Ablation: learning observed speed vs trusting self-benchmarks.
+
+Benchmark-aware scheduling is only as good as the scores it trusts.  Here
+two slow providers *overstate* their benchmark 100x (a stale score, a
+thermally-throttled device, or a liar), which makes them the top-ranked
+placement targets.  Because the broker is work-conserving, misreporting
+only matters when the scheduler has a *choice* — so the experiment first
+runs a warm-up wave (during which the EWMA can learn the truth) and then
+measures a wave small enough to fit on the honest fast providers alone.
+
+Shape claims: with learning disabled the liars receive measured-wave
+tasks and the makespan suffers by several times; with the EWMA enabled the
+warm-up exposes the lie and the measured wave avoids the liars, recovering
+close to honest-pool performance.
+"""
+
+from __future__ import annotations
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...provider.core import ProviderConfig
+from ...sim.runner import Simulation
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table
+
+
+def _pool(lying: bool) -> list[ProviderConfig]:
+    """2 honest desktops + 2 slow devices that may claim 100x their speed."""
+    pool = [
+        ProviderConfig(device_class="desktop", capacity=2, speed_ips=80e6)
+        for _ in range(2)
+    ]
+    for _ in range(2):
+        actual = 8e6
+        claimed = actual * 100 if lying else actual
+        pool.append(
+            ProviderConfig(
+                device_class="sbc",
+                capacity=1,
+                speed_ips=actual,
+                benchmark_score=claimed,
+            )
+        )
+    return pool
+
+
+def _two_wave_makespan(
+    lying: bool, learn: bool, warmup_tasks: int, measured_tasks: int, limit: int
+) -> float:
+    simulation = Simulation(
+        seed=61,
+        strategy="fastest_first",
+        broker_config=BrokerConfig(execution_timeout=None, learn_speed=learn),
+    )
+    for config in _pool(lying):
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+    workload = prime_count(tasks=warmup_tasks, limit=limit)
+
+    warmup = consumer.library.map(
+        workload.program, workload.args_list, qoc=QoC.fast()
+    )
+    simulation.run(max_time=1e4)
+    assert all(future.wait(0).ok for future in warmup)
+
+    measured_workload = prime_count(tasks=measured_tasks, limit=limit)
+    wave_start = simulation.now
+    measured = consumer.library.map(
+        measured_workload.program, measured_workload.args_list, qoc=QoC.fast()
+    )
+    simulation.run(max_time=1e4)
+    completions = [future.wait(0) for future in measured]
+    assert all(result.ok for result in completions)
+    return max(result.completed_at for result in completions) - wave_start
+
+
+def run(quick: bool = True) -> Experiment:
+    warmup_tasks = 8
+    measured_tasks = 4  # fits on the honest desktops' 4 slots
+    limit = 6000 if quick else 10000
+    table = Table(
+        title="A1: EWMA speed learning vs trusted self-benchmarks",
+        columns=["pool", "speed learning", "measured-wave makespan s", "vs honest"],
+    )
+    results: dict[tuple[bool, bool], float] = {}
+    for lying in (False, True):
+        for learn in (True, False):
+            results[(lying, learn)] = _two_wave_makespan(
+                lying, learn, warmup_tasks, measured_tasks, limit
+            )
+    honest = results[(False, True)]
+    for lying in (False, True):
+        for learn in (True, False):
+            table.add_row(
+                "2 liars (100x overstated)" if lying else "honest",
+                "on" if learn else "off",
+                results[(lying, learn)],
+                results[(lying, learn)] / honest,
+            )
+    table.add_note(
+        "pool: 2 desktops (80 Minstr/s, 2 slots) + 2 slow devices "
+        "(8 Minstr/s); liars claim 800 Minstr/s; strategy: fastest_first; "
+        f"warm-up {warmup_tasks} tasks, measured wave {measured_tasks} tasks"
+    )
+
+    experiment = Experiment("A1", table)
+    experiment.check(
+        "misreported benchmarks hurt when learning is off (>= 2x honest)",
+        results[(True, False)] > honest * 2.0,
+        detail=f"{results[(True, False)] / honest:.2f}x honest",
+    )
+    experiment.check(
+        "EWMA learning recovers most of the damage (within 1.5x honest)",
+        results[(True, True)] <= honest * 1.5,
+        detail=f"{results[(True, True)] / honest:.2f}x honest",
+    )
+    experiment.check(
+        "learning does not hurt an honest pool (within 10%)",
+        results[(False, True)] <= results[(False, False)] * 1.1,
+    )
+    return experiment

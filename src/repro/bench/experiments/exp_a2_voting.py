@@ -1,0 +1,86 @@
+"""A2 — Ablation: majority voting vs accepting the first result.
+
+Two of five providers are byzantine: they return *corrupted* values for
+most of their executions.  Best-effort execution accepts whatever comes
+back; redundancy-3 with exact-equality majority voting should filter the
+corruption out.
+
+Shape claims: without voting, a substantial fraction of final results is
+wrong (and the middleware cannot even tell); with r=3 voting, wrong final
+results drop to zero while success stays high.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...provider.failure import ExecutionFailureModel
+from ...sim.devices import make_config
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table
+from ..simlib import run_workload
+
+
+def run(quick: bool = True) -> Experiment:
+    tasks = 40 if quick else 100
+    corrupt_p = 0.8
+    byzantine = 2
+    providers = 5
+    table = Table(
+        title="A2: result voting under byzantine providers",
+        columns=["policy", "ok%", "wrong final values", "executions issued"],
+    )
+    outcomes = {}
+    for name, qoc in (
+        ("first result (r=1)", QoC()),
+        ("majority vote (r=3)", QoC.reliable(redundancy=3)),
+    ):
+        failure_for = {
+            index: ExecutionFailureModel(
+                corrupt_probability=corrupt_p if index < byzantine else 0.0,
+                rng=random.Random(700 + index),
+            )
+            for index in range(providers)
+        }
+        outcome = run_workload(
+            prime_count(tasks=tasks, limit=700),
+            pool=[make_config("desktop") for _ in range(providers)],
+            qoc=qoc,
+            seed=8,
+            broker_config=BrokerConfig(execution_timeout=2.0),
+            failure_for=failure_for,
+            max_time=300.0,
+        )
+        outcomes[name] = outcome
+        table.add_row(
+            name,
+            outcome.success_rate * 100,
+            outcome.wrong_values,
+            outcome.executions_issued,
+        )
+    table.add_note(
+        f"{byzantine} of {providers} providers corrupt {corrupt_p:.0%} of "
+        "their results; corruption is value-level, so only comparing "
+        "replicas can catch it"
+    )
+
+    experiment = Experiment("A2", table)
+    first = outcomes["first result (r=1)"]
+    voted = outcomes["majority vote (r=3)"]
+    experiment.check(
+        "without voting, corrupted values reach the application",
+        first.wrong_values >= tasks * 0.15,
+        detail=f"{first.wrong_values}/{tasks} wrong",
+    )
+    experiment.check(
+        "majority voting delivers zero wrong values",
+        voted.wrong_values == 0,
+    )
+    experiment.check(
+        "voting keeps success high (>= 95%)",
+        voted.success_rate >= 0.95,
+        detail=f"{voted.success_rate:.0%}",
+    )
+    return experiment

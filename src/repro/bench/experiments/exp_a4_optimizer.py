@@ -1,0 +1,116 @@
+"""A4 — Ablation: the bytecode optimizer.
+
+Measures what constant folding + jump threading + dead-code elimination
+buy on (a) the standard kernels — hand-tuned code, so the honest answer
+is "a little" — and (b) a constant-heavy kernel representative of
+machine-generated Tasklets (unit conversions, physics constants inside
+loops), where folding hoists whole subexpressions out of the hot path.
+
+Shape claims: results are bit-identical with and without optimization
+(the middleware's voting would otherwise break between optimized and
+unoptimized replicas of the same source!); instruction counts never
+increase; the constant-heavy kernel drops >= 25% of its executed
+instructions and runs measurably faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...core import kernels
+from ...tvm.compiler import compile_source
+from ...tvm.optimizer import optimize_program
+from ...tvm.vm import TVM, VMLimits
+from ..harness import Experiment, Table
+
+#: Machine-generated style: constant subexpressions inside the hot loop.
+CONSTANT_HEAVY = """
+func main(steps: int) -> float {
+    var x: float = 1.0;
+    for (var i: int = 0; i < steps; i = i + 1) {
+        x = x * (1.0 + 0.5 / 365.0) + (2.0 * 3.14159 / 360.0)
+            - (9.81 * 0.001 * 0.001) * x;
+        if (x > 1000.0 * 1000.0) { x = x / (1024.0 * 1024.0); }
+    }
+    return x;
+}
+"""
+
+_KERNEL_ARGS = {
+    "mandelbrot_row": [8, 48, 32, 40],
+    "prime_count": [2500],
+    "numeric_integration": [0.0, 6.0, 3000],
+}
+
+
+def _measure(program, args):
+    machine = TVM(program, limits=VMLimits(), seed=0)
+    started = time.perf_counter()
+    result = machine.run("main", list(args))
+    elapsed = time.perf_counter() - started
+    return result, machine.stats.instructions, elapsed
+
+
+def run(quick: bool = True) -> Experiment:
+    steps = 20_000 if quick else 80_000
+    table = Table(
+        title="A4: bytecode optimizer effect (executed instructions)",
+        columns=[
+            "kernel",
+            "plain instr",
+            "optimized instr",
+            "reduction",
+            "speedup",
+            "identical result",
+        ],
+    )
+    cases = {name: (kernels.ALL_KERNELS[name], args)
+             for name, args in _KERNEL_ARGS.items()}
+    cases["constant_heavy"] = (CONSTANT_HEAVY, [steps])
+
+    reductions = {}
+    identical = {}
+    speedups = {}
+    for name, (source, args) in cases.items():
+        plain = compile_source(source)
+        optimized = optimize_program(plain)
+        plain_result, plain_instr, plain_s = _measure(plain, args)
+        optimized_result, optimized_instr, optimized_s = _measure(optimized, args)
+        identical[name] = plain_result == optimized_result
+        reductions[name] = 1.0 - optimized_instr / plain_instr
+        speedups[name] = plain_s / optimized_s if optimized_s > 0 else 1.0
+        table.add_row(
+            name,
+            plain_instr,
+            optimized_instr,
+            f"{reductions[name]:.1%}",
+            speedups[name],
+            identical[name],
+        )
+    table.add_note(
+        "standard kernels are hand-tuned (little to fold); constant_heavy "
+        "models machine-generated Tasklets with constant subexpressions in "
+        "the hot loop"
+    )
+
+    experiment = Experiment("A4", table)
+    experiment.check(
+        "optimization never changes results (replica-vote compatible)",
+        all(identical.values()),
+    )
+    experiment.check(
+        "instruction counts never increase",
+        all(reduction >= -1e-9 for reduction in reductions.values()),
+        detail=" ".join(f"{name}:{reduction:.1%}" for name, reduction in reductions.items()),
+    )
+    experiment.check(
+        "constant-heavy code drops >= 25% of executed instructions",
+        reductions["constant_heavy"] >= 0.25,
+        detail=f"{reductions['constant_heavy']:.1%}",
+    )
+    experiment.check(
+        "constant-heavy code runs >= 1.2x faster",
+        speedups["constant_heavy"] >= 1.2,
+        detail=f"{speedups['constant_heavy']:.2f}x",
+    )
+    return experiment

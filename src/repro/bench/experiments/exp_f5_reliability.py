@@ -1,0 +1,113 @@
+"""F5 — Reliability under provider failures.
+
+Providers silently drop results with probability ``p`` (crash before
+reporting).  We sweep ``p`` for four QoC configurations:
+
+* ``best_effort``   — one attempt, no recovery;
+* ``retry_x6``      — one replica, re-issued up to 6 times on failure;
+* ``redundancy_2``  — two replicas (2 agreeing results required), up to 3 waves;
+* ``redundancy_3``  — three replicas (majority of 2 required), up to 3 waves.
+
+Shape claims: best-effort success falls roughly as ``1-p``; every recovery
+mechanism dominates best effort at every ``p``; retries trade time for
+success (completion time grows with ``p``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...provider.failure import ExecutionFailureModel
+from ...sim.devices import make_config
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table, monotone_decreasing
+from ..simlib import run_workload
+
+_CONFIGS = {
+    "best_effort": QoC(redundancy=1, max_attempts=1),
+    "retry_x6": QoC(redundancy=1, max_attempts=6),
+    "redundancy_2": QoC(redundancy=2, max_attempts=3),
+    "redundancy_3": QoC(redundancy=3, max_attempts=3),
+}
+
+
+def run(quick: bool = True) -> Experiment:
+    probabilities = [0.0, 0.1, 0.3, 0.5, 0.7] if quick else [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    tasks = 24 if quick else 60
+    providers = 6
+    table = Table(
+        title="F5: success rate vs provider drop probability",
+        columns=["drop p"] + [f"{name} ok%" for name in _CONFIGS] + ["retry_x6 makespan s"],
+    )
+    success: dict[str, list[float]] = {name: [] for name in _CONFIGS}
+    retry_makespans: list[float] = []
+    for probability in probabilities:
+        row: list = [probability]
+        for name, qoc in _CONFIGS.items():
+            workload = prime_count(tasks=tasks, limit=600)
+            failure_for = {
+                index: ExecutionFailureModel(
+                    drop_probability=probability,
+                    rng=random.Random(1000 + index),
+                )
+                for index in range(providers)
+            }
+            outcome = run_workload(
+                workload,
+                pool=[make_config("desktop") for _ in range(providers)],
+                qoc=qoc,
+                seed=int(probability * 100),
+                broker_config=BrokerConfig(execution_timeout=1.5),
+                failure_for=failure_for,
+                max_time=600.0,
+            )
+            success[name].append(outcome.success_rate)
+            row.append(outcome.success_rate * 100)
+            if name == "retry_x6":
+                retry_makespans.append(
+                    outcome.makespan if outcome.makespan != float("inf") else -1.0
+                )
+        row.append(retry_makespans[-1])
+        table.add_row(*row)
+    table.add_note(
+        f"{providers} desktop providers, {tasks} tasks; drops are detected by "
+        "the broker's 1.5s execution timeout and re-issued when QoC allows"
+    )
+
+    experiment = Experiment("F5", table)
+    experiment.check(
+        "best-effort success decays as drop probability grows",
+        monotone_decreasing(success["best_effort"], tolerance=0.08),
+        detail=" -> ".join(f"{s:.0%}" for s in success["best_effort"]),
+    )
+    expected_decay = all(
+        abs(observed - (1.0 - p)) <= 0.15
+        for observed, p in zip(success["best_effort"], probabilities)
+    )
+    experiment.check(
+        "best-effort success tracks (1 - p) within 15 points",
+        expected_decay,
+    )
+    experiment.check(
+        "retries dominate best effort at every failure level",
+        all(
+            retry >= best - 1e-9
+            for retry, best in zip(success["retry_x6"], success["best_effort"])
+        ),
+    )
+    experiment.check(
+        "retry success stays >= 95% up to p=0.5",
+        all(
+            rate >= 0.95
+            for rate, p in zip(success["retry_x6"], probabilities)
+            if p <= 0.5
+        ),
+    )
+    experiment.check(
+        "recovery costs time: retry makespan grows with p",
+        retry_makespans[-1] > retry_makespans[0],
+        detail=f"{retry_makespans[0]:.2f}s -> {retry_makespans[-1]:.2f}s",
+    )
+    return experiment

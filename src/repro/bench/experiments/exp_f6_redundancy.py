@@ -1,0 +1,93 @@
+"""F6 — The cost of redundant execution.
+
+Redundancy buys reliability (F5) with provider time; this experiment
+quantifies the bill on a *failure-free* pool: executions issued, provider-
+seconds consumed, and end-to-end latency as the replication factor grows.
+
+Shape claims: executions issued grow exactly linearly in ``r`` (the broker
+never over-issues when nothing fails); provider-seconds grow close to
+linearly; latency grows only mildly (replicas run in parallel) until the
+pool saturates.
+"""
+
+from __future__ import annotations
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...sim.devices import make_config
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table, monotone_increasing
+from ..simlib import run_workload
+
+
+def run(quick: bool = True) -> Experiment:
+    replication_factors = [1, 2, 3, 4] if quick else [1, 2, 3, 4, 5]
+    tasks = 16 if quick else 40
+    providers = 8
+    table = Table(
+        title="F6: cost of redundancy on a failure-free pool",
+        columns=[
+            "r",
+            "executions/task",
+            "provider-s/task",
+            "latency p50 s",
+            "latency p95 s",
+            "makespan s",
+        ],
+    )
+    executions_per_task = []
+    provider_seconds_per_task = []
+    latencies = []
+    for replication in replication_factors:
+        workload = prime_count(tasks=tasks, limit=1200)
+        outcome = run_workload(
+            workload,
+            pool=[make_config("desktop") for _ in range(providers)],
+            qoc=QoC(redundancy=replication, max_attempts=2),
+            seed=30 + replication,
+            broker_config=BrokerConfig(execution_timeout=None),
+        )
+        assert outcome.failed == 0
+        executions_per_task.append(outcome.executions_issued / tasks)
+        provider_seconds_per_task.append(outcome.provider_seconds / tasks)
+        latencies.append(outcome.latency_p50)
+        table.add_row(
+            replication,
+            executions_per_task[-1],
+            provider_seconds_per_task[-1],
+            outcome.latency_p50,
+            outcome.latency_p95,
+            outcome.makespan,
+        )
+    table.add_note(f"{providers} desktops, {tasks} identical tasks, no failures")
+    table.add_note(
+        "provider-s/task counts results that reached the vote; replicas "
+        "cancelled after the majority decided executed but are not counted"
+    )
+
+    experiment = Experiment("F6", table)
+    experiment.check(
+        "executions issued = r exactly (no spurious re-issue)",
+        all(
+            abs(count - r) < 1e-9
+            for count, r in zip(executions_per_task, replication_factors)
+        ),
+        detail=" ".join(f"{c:.2f}" for c in executions_per_task),
+    )
+    experiment.check(
+        "provider-seconds grow monotonically with r",
+        monotone_increasing(provider_seconds_per_task),
+    )
+    ratio = provider_seconds_per_task[-1] / provider_seconds_per_task[0]
+    expected = replication_factors[-1] / replication_factors[0]
+    experiment.check(
+        "provider-second growth is close to linear in r (within 40%)",
+        0.6 * expected <= ratio <= 1.1 * expected,
+        detail=f"observed {ratio:.2f}x vs linear {expected:.0f}x",
+    )
+    experiment.check(
+        "replication does not explode latency (p50 within 3x of r=1)",
+        latencies[-1] <= latencies[0] * 3.0,
+        detail=f"{latencies[0]:.3f}s -> {latencies[-1]:.3f}s",
+    )
+    return experiment

@@ -1,0 +1,127 @@
+"""F7 — Churn tolerance.
+
+Providers alternate between available and gone (exponential ON/OFF, fixed
+mean cycle length); the duty cycle — the fraction of time a provider is
+up — sweeps from always-on to mostly-gone.  The middleware recovers
+through heartbeat failure detection, execution timeouts, and re-issue.
+
+Shape claims: with re-issue enabled every workload completes down to a 50%
+duty cycle; makespan grows as availability falls; the number of lost/
+re-issued executions grows as availability falls.
+"""
+
+from __future__ import annotations
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...sim.churn import ExponentialChurn
+from ...provider.core import ProviderConfig
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table, monotone_increasing
+from ..simlib import run_workload
+
+
+def run(quick: bool = True) -> Experiment:
+    duty_cycles = [1.0, 0.9, 0.75, 0.5] if quick else [1.0, 0.9, 0.75, 0.5, 0.3]
+    tasks = 180 if quick else 400
+    providers = 4
+    cycle_s = 3.0
+    # Deliberately slow virtual providers (virtual time is free; executed
+    # TVM instructions are not), tuned so the timescale hierarchy is
+    # realistic: makespan (~15s) >> churn cycle (3s) >> task (~0.3s).
+    slow_speed_ips = 100e3
+    table = Table(
+        title="F7: completion under provider churn (duty-cycle sweep)",
+        columns=[
+            "duty cycle",
+            "ok%",
+            "makespan s",
+            "executions issued",
+            "lost executions",
+        ],
+    )
+    makespans = []
+    issued = []
+    success_rates = []
+    repeats = 2 if quick else 4
+    for duty in duty_cycles:
+        duty_makespans = []
+        duty_issued = []
+        duty_failed = []
+        duty_success = []
+        for repeat in range(repeats):
+            workload = prime_count(tasks=tasks, limit=800)
+            churn_for = {
+                index: ExponentialChurn.from_duty_cycle(
+                    duty, cycle_s=cycle_s, seed=500 + 37 * repeat + index
+                )
+                for index in range(providers)
+                if duty < 1.0
+            }
+            pool = [
+                ProviderConfig(
+                    device_class="desktop",
+                    capacity=1,
+                    speed_ips=slow_speed_ips,
+                    heartbeat_interval=0.25,
+                    startup_overhead_s=0.002,
+                )
+                for _ in range(providers)
+            ]
+            outcome = run_workload(
+                workload,
+                pool=pool,
+                qoc=QoC(redundancy=1, max_attempts=10),
+                seed=int(duty * 100) + repeat,
+                broker_config=BrokerConfig(
+                    heartbeat_interval=0.25,
+                    heartbeat_tolerance=2.0,
+                    execution_timeout=1.5,
+                ),
+                churn_for=churn_for,
+                max_time=3000.0,
+            )
+            duty_makespans.append(outcome.makespan)
+            duty_issued.append(outcome.executions_issued)
+            duty_failed.append(outcome.executions_failed)
+            duty_success.append(outcome.success_rate)
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - local shorthand
+        makespans.append(mean(duty_makespans))
+        issued.append(mean(duty_issued))
+        success_rates.append(min(duty_success))
+        table.add_row(
+            duty,
+            mean(duty_success) * 100,
+            makespans[-1],
+            issued[-1],
+            mean(duty_failed),
+        )
+    table.add_note(
+        f"{providers} slow providers, exponential ON/OFF churn with "
+        f"{cycle_s:.0f}s mean cycle; recovery: 0.5s heartbeat failure "
+        "detector + crash-on-reregister detection + 1.5s execution timeout "
+        "+ up to 10 attempts"
+    )
+
+    experiment = Experiment("F7", table)
+    experiment.check(
+        "all tasks complete at every duty cycle >= 0.5 (re-issue works)",
+        all(rate == 1.0 for rate in success_rates),
+        detail=" ".join(f"{r:.0%}" for r in success_rates),
+    )
+    experiment.check(
+        "full availability is the fastest configuration",
+        makespans[0] <= min(makespans),
+        detail=" -> ".join(f"{m:.1f}s" for m in makespans),
+    )
+    experiment.check(
+        "halving availability at least doubles mean makespan",
+        makespans[-1] >= makespans[0] * 2.0,
+        detail=f"{makespans[0]:.1f}s -> {makespans[-1]:.1f}s",
+    )
+    experiment.check(
+        "lower availability forces more executions (work is re-issued)",
+        monotone_increasing(issued, tolerance=tasks * 0.2),
+        detail=" -> ".join(f"{count:.0f}" for count in issued),
+    )
+    return experiment

@@ -1,0 +1,117 @@
+"""T1 — Device-class benchmark scores.
+
+The paper's Table 1 characterises the heterogeneous testbed by running the
+Tasklet self-benchmark on every device class.  Our substitute testbed is
+the calibrated device profiles: for each class we simulate one provider,
+run the standard benchmark kernel through the full middleware, and report
+the score the broker would learn, next to the nominal profile.
+
+Shape claims: servers fastest, single-board computers slowest, with a
+spread of roughly 25x — the heterogeneity the scheduling experiments (F4)
+then have to overcome.
+"""
+
+from __future__ import annotations
+
+from ...core.qoc import QoC
+from ...sim.devices import DEVICE_CLASSES, make_config
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table
+from ..simlib import run_workload
+
+
+def run(quick: bool = True) -> Experiment:
+    # Tasks must be long enough that per-execution startup overhead does
+    # not distort the speed estimate (see the 20% tolerance check below).
+    limit = 3000 if quick else 12000
+    tasks = 2 if quick else 4
+    table = Table(
+        title="T1: device classes and Tasklet benchmark scores",
+        columns=[
+            "class",
+            "slots",
+            "nominal Minstr/s",
+            "measured Minstr/s",
+            "rel. to sbc",
+            "price/Ginstr",
+            "task latency s",
+        ],
+    )
+    measured: dict[str, float] = {}
+    latencies: dict[str, float] = {}
+    workload = prime_count(tasks=tasks, limit=limit)
+    for class_name in ("server", "desktop", "laptop", "smartphone", "sbc"):
+        profile = DEVICE_CLASSES[class_name]
+        outcome = run_workload(
+            workload,
+            pool=[make_config(class_name)],
+            qoc=QoC(),
+            seed=1,
+        )
+        latencies[class_name] = outcome.latency_p50
+        # Measured score = instructions / provider-seconds, exactly what
+        # the broker's EWMA learns from execution reports.
+        measured[class_name] = (
+            outcome.executions_issued
+            * _instructions_per_task(workload)
+            / outcome.provider_seconds
+        )
+    sbc_speed = measured["sbc"]
+    for class_name in ("server", "desktop", "laptop", "smartphone", "sbc"):
+        profile = DEVICE_CLASSES[class_name]
+        table.add_row(
+            class_name,
+            profile.capacity,
+            profile.speed_ips / 1e6,
+            measured[class_name] / 1e6,
+            measured[class_name] / sbc_speed,
+            profile.price,
+            latencies[class_name],
+        )
+    table.add_note(
+        "substitution: calibrated virtual profiles stand in for the paper's "
+        "physical devices; ratios mirror 2016-era single-core spreads"
+    )
+
+    experiment = Experiment("T1", table)
+    speeds = [measured[name] for name in ("server", "desktop", "laptop", "smartphone", "sbc")]
+    experiment.check(
+        "classes are strictly ordered server > desktop > laptop > phone > sbc",
+        all(a > b for a, b in zip(speeds, speeds[1:])),
+    )
+    spread = speeds[0] / speeds[-1]
+    experiment.check(
+        "server/sbc spread is ~25x (within [10x, 50x])",
+        10.0 <= spread <= 50.0,
+        detail=f"spread={spread:.1f}x",
+    )
+    # The learned score should match the *effective* device speed — raw
+    # speed discounted by the per-execution startup overhead the device
+    # model charges — to within 5%.  (For long tasks effective ≈ nominal.)
+    instructions = _instructions_per_task(workload)
+    effective = {
+        name: instructions
+        / (
+            instructions / DEVICE_CLASSES[name].speed_ips
+            + DEVICE_CLASSES[name].startup_overhead_s
+        )
+        for name in measured
+    }
+    experiment.check(
+        "broker-learned scores match effective device speeds within 5%",
+        all(
+            abs(measured[name] - effective[name]) / effective[name] < 0.05
+            for name in measured
+        ),
+    )
+    return experiment
+
+
+def _instructions_per_task(workload) -> int:
+    """Exact TVM instruction count of one task (they are identical)."""
+    from ...tvm.vm import execute
+
+    _result, stats = execute(
+        workload.program, workload.entry, workload.args_list[0]
+    )
+    return stats.instructions

@@ -1,0 +1,148 @@
+"""T2 — Quality of Computation goals and their measured effect.
+
+The qualitative table of the paper: one row per QoC goal, showing the
+mechanism that implements it and its measured signature on the same
+workload and pool — executions issued, remote executions (did data leave
+the device?), makespan, and success under injected drops.
+
+Shape claims: *privacy* issues zero remote executions; *reliability*
+issues ~r times the executions and survives drops that break best-effort;
+*speed* completes no slower than best-effort placement on a heterogeneous
+pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...provider.failure import ExecutionFailureModel
+from ...sim.devices import make_pool
+from ...sim.workloads import prime_count
+from ..harness import Experiment, Table
+from ..simlib import run_workload
+
+_POOL_SPEC = {"desktop": 2, "laptop": 2, "smartphone": 2}
+
+
+def _run_remote(qoc: QoC, tasks: int, drop_p: float, seed: int):
+    failure_for = {
+        index: ExecutionFailureModel(
+            drop_probability=drop_p, rng=random.Random(900 + index)
+        )
+        for index in range(sum(_POOL_SPEC.values()))
+    }
+    return run_workload(
+        prime_count(tasks=tasks, limit=900),
+        pool=make_pool(_POOL_SPEC, seed=9),
+        qoc=qoc,
+        seed=seed,
+        broker_config=BrokerConfig(execution_timeout=1.5),
+        failure_for=failure_for,
+        max_time=500.0,
+    )
+
+
+def _run_local(tasks: int):
+    """The privacy goal: local-only execution through the library."""
+    from ...sim.runner import Simulation
+
+    simulation = Simulation(seed=11)
+    for config in make_pool(_POOL_SPEC, seed=9):
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+    workload = prime_count(tasks=tasks, limit=900)
+    futures = consumer.library.map(
+        workload.program, workload.args_list, qoc=QoC.private()
+    )
+    simulation.run(max_time=100.0)
+    ok = sum(1 for future in futures if future.done and future.wait(0).ok)
+    return ok, simulation.broker.stats.executions_issued
+
+
+def run(quick: bool = True) -> Experiment:
+    tasks = 12 if quick else 30
+    drop_p = 0.3
+    table = Table(
+        title="T2: QoC goals, mechanisms, and measured signatures",
+        columns=[
+            "goal",
+            "mechanism",
+            "remote executions",
+            "ok%",
+            "makespan s",
+        ],
+    )
+
+    best_effort = _run_remote(QoC(), tasks, drop_p, seed=1)
+    speed = _run_remote(QoC.fast(), tasks, drop_p, seed=1)
+    reliable = _run_remote(QoC.reliable(redundancy=3), tasks, drop_p, seed=1)
+    retry = _run_remote(QoC(max_attempts=6), tasks, drop_p, seed=1)
+    local_ok, local_remote_executions = _run_local(tasks)
+
+    table.add_row(
+        "best effort (default)",
+        "single placement, no recovery",
+        best_effort.executions_issued,
+        best_effort.success_rate * 100,
+        best_effort.makespan if best_effort.makespan != float("inf") else -1,
+    )
+    table.add_row(
+        "speed",
+        "benchmark-aware fastest-first placement",
+        speed.executions_issued,
+        speed.success_rate * 100,
+        speed.makespan if speed.makespan != float("inf") else -1,
+    )
+    table.add_row(
+        "reliability (r=3)",
+        "redundant replicas + majority vote + re-issue",
+        reliable.executions_issued,
+        reliable.success_rate * 100,
+        reliable.makespan,
+    )
+    table.add_row(
+        "reliability (retry x6)",
+        "re-issue on failure, single replica",
+        retry.executions_issued,
+        retry.success_rate * 100,
+        retry.makespan,
+    )
+    table.add_row(
+        "privacy (local only)",
+        "consumer-side TVM, Tasklet never shipped",
+        local_remote_executions,
+        100.0 * local_ok / tasks,
+        0.0,
+    )
+    table.add_note(
+        f"same workload ({tasks} prime-count tasks) and pool for every row; "
+        f"providers silently drop {drop_p:.0%} of results"
+    )
+
+    experiment = Experiment("T2", table)
+    experiment.check(
+        "privacy issues zero remote executions and still succeeds",
+        local_remote_executions == 0 and local_ok == tasks,
+    )
+    experiment.check(
+        "reliability survives drops that break best effort",
+        reliable.success_rate >= 0.95 > best_effort.success_rate + 0.04,
+        detail=(
+            f"reliable={reliable.success_rate:.0%}, "
+            f"best effort={best_effort.success_rate:.0%}"
+        ),
+    )
+    experiment.check(
+        "redundancy r=3 issues ~3x the executions of best effort",
+        reliable.executions_issued >= 2.2 * best_effort.executions_issued,
+        detail=f"{reliable.executions_issued} vs {best_effort.executions_issued}",
+    )
+    experiment.check(
+        "retry achieves reliability without proportional extra work",
+        retry.success_rate >= 0.95
+        and retry.executions_issued < reliable.executions_issued,
+        detail=f"retry issued {retry.executions_issued}",
+    )
+    return experiment

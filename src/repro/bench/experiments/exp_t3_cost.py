@@ -1,0 +1,116 @@
+"""T3 — The price of computation: cost accounting across QoC goals.
+
+Providers charge per 10⁹ executed instructions at class-specific prices
+(servers cost 16x a single-board computer).  The same workload runs under
+four goal configurations on one heterogeneous pool, and the broker's
+ledger reports the bill — making the middleware's cost/performance
+trade-off explicit.
+
+Shape claims: the speed goal buys the lowest makespan at the highest
+cost; a cost ceiling cuts the bill by excluding expensive providers but
+pays in makespan (the crossover of the compute market); redundancy r=3
+costs roughly 2-3x best effort (cancelled third replicas are not billed);
+the ledger conserves (total spent == total earned).
+"""
+
+from __future__ import annotations
+
+from ...broker.core import BrokerConfig
+from ...core.qoc import QoC
+from ...sim.devices import make_pool
+from ...sim.runner import Simulation
+from ...sim.workloads import prime_count
+
+from ..harness import Experiment, Table
+
+_POOL_SPEC = {"server": 1, "desktop": 2, "sbc": 4}
+
+
+def _run(qoc: QoC, strategy: str, tasks: int, limit: int):
+    simulation = Simulation(
+        seed=31,
+        strategy=strategy,
+        broker_config=BrokerConfig(execution_timeout=None),
+    )
+    for config in make_pool(_POOL_SPEC, seed=31):
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+    workload = prime_count(tasks=tasks, limit=limit)
+    futures = consumer.library.map(workload.program, workload.args_list, qoc=qoc)
+    makespan = simulation.run(max_time=1e4)
+    results = [future.wait(0) for future in futures]
+    assert all(result.ok for result in results)
+    ledger = simulation.broker.ledger
+    return {
+        "makespan": makespan,
+        "cost": sum(result.cost for result in results),
+        "ledger_total": ledger.total_billed,
+        "conserves": ledger.conservation_holds,
+    }
+
+
+def run(quick: bool = True) -> Experiment:
+    # Enough tasks to need several waves: with the pool saturated, losing
+    # the expensive fast providers to the cost ceiling shows up in
+    # aggregate throughput, i.e. makespan.
+    tasks = 60 if quick else 150
+    limit = 1500 if quick else 4000
+    configurations = {
+        "best effort": (QoC(), "qoc"),
+        "speed": (QoC.fast(), "fastest_first"),
+        "cost ceiling (<= 3.0)": (QoC(cost_ceiling=3.0), "qoc"),
+        "reliability (r=3)": (QoC.reliable(redundancy=3), "qoc"),
+    }
+    table = Table(
+        title="T3: billed cost vs makespan across QoC goals",
+        columns=["goal", "makespan s", "total cost", "cost vs best effort"],
+    )
+    outcomes = {}
+    for name, (qoc, strategy) in configurations.items():
+        outcomes[name] = _run(qoc, strategy, tasks, limit)
+    baseline_cost = outcomes["best effort"]["cost"]
+    for name, outcome in outcomes.items():
+        table.add_row(
+            name,
+            outcome["makespan"],
+            outcome["cost"],
+            outcome["cost"] / baseline_cost if baseline_cost else 0.0,
+        )
+    table.add_note(
+        f"pool {_POOL_SPEC}; prices per Ginstr: server 8.0, desktop 3.0, "
+        f"sbc 0.5; workload: {tasks} x prime_count({limit})"
+    )
+
+    experiment = Experiment("T3", table)
+    experiment.check(
+        "every configuration's ledger conserves (spent == earned == billed)",
+        all(outcome["conserves"] for outcome in outcomes.values()),
+    )
+    experiment.check(
+        "consumer-visible costs equal the broker ledger",
+        all(
+            abs(outcome["cost"] - outcome["ledger_total"]) < 1e-9
+            for outcome in outcomes.values()
+        ),
+    )
+    speed = outcomes["speed"]
+    ceiling = outcomes["cost ceiling (<= 3.0)"]
+    experiment.check(
+        "the cost ceiling cuts the bill vs the speed goal (>= 1.5x cheaper)",
+        ceiling["cost"] * 1.5 <= speed["cost"],
+        detail=f"ceiling {ceiling['cost']:.3f} vs speed {speed['cost']:.3f}",
+    )
+    experiment.check(
+        "the saving is paid in makespan (ceiling slower than speed)",
+        ceiling["makespan"] > speed["makespan"],
+        detail=(
+            f"ceiling {ceiling['makespan']:.3f}s vs speed {speed['makespan']:.3f}s"
+        ),
+    )
+    reliable = outcomes["reliability (r=3)"]
+    experiment.check(
+        "redundancy r=3 bills 1.8x-3.2x best effort",
+        1.8 * baseline_cost <= reliable["cost"] <= 3.2 * baseline_cost,
+        detail=f"{reliable['cost'] / baseline_cost:.2f}x",
+    )
+    return experiment

@@ -1,0 +1,33 @@
+"""Broker: provider registry, scheduling strategies, and the broker core."""
+
+from .core import BrokerConfig, BrokerCore, BrokerStats
+from .registry import ProviderRecord, ProviderRegistry, ProviderView
+from .scheduling import (
+    FastestFirstStrategy,
+    LeastLoadedStrategy,
+    QoCStrategy,
+    RandomStrategy,
+    ReliabilityAwareStrategy,
+    RoundRobinStrategy,
+    STRATEGIES,
+    Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "BrokerConfig",
+    "BrokerCore",
+    "BrokerStats",
+    "ProviderRecord",
+    "ProviderRegistry",
+    "ProviderView",
+    "FastestFirstStrategy",
+    "LeastLoadedStrategy",
+    "QoCStrategy",
+    "RandomStrategy",
+    "ReliabilityAwareStrategy",
+    "RoundRobinStrategy",
+    "STRATEGIES",
+    "Strategy",
+    "make_strategy",
+]

@@ -1,0 +1,613 @@
+"""The broker: sans-IO mediation between consumers and providers.
+
+:class:`BrokerCore` is a pure state machine: every inbound
+:class:`~repro.transport.message.Envelope` (and every timer ``tick``)
+returns the list of outbound envelopes to deliver.  It performs no IO and
+reads time only through the injected clock, so the identical broker runs
+unchanged inside the discrete-event simulator and behind the real TCP
+server.
+
+Responsibilities:
+
+* provider membership and heartbeat-based failure detection;
+* admission of Tasklets and replica placement through a pluggable
+  scheduling strategy;
+* the QoC machinery: redundant execution with majority voting, re-issue
+  of failed/lost/timed-out executions within the attempt budget, deadline
+  enforcement, cost filtering (inside the strategy);
+* replica queueing when the pool is saturated, drained as capacity frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.clock import Clock
+from ..common.errors import TaskletError
+from ..common.ids import ExecutionId, IdGenerator, NodeId, TaskletId
+from ..core.qoc import QoC
+from ..core.results import ExecutionRecord, ExecutionStatus, VoteCollector
+from ..core.tasklet import Tasklet
+from .accounting import CostLedger
+from .registry import ProviderRegistry
+from .scheduling import QoCStrategy, Strategy
+from ..transport.message import (
+    AssignExecution,
+    BROKER_ADDRESS,
+    CancelExecution,
+    Envelope,
+    ExecutionRejected,
+    ExecutionResult,
+    Heartbeat,
+    MessageBody,
+    RegisterAck,
+    RegisterProvider,
+    SubmitAck,
+    SubmitTasklet,
+    TaskletComplete,
+    Unregister,
+    body_of,
+)
+
+
+@dataclass
+class BrokerConfig:
+    """Tunable broker behaviour."""
+
+    heartbeat_interval: float = 1.0
+    heartbeat_tolerance: float = 3.0  # intervals of silence before "dead"
+    execution_timeout: float | None = 30.0  # per-execution re-issue horizon
+    max_queued_replicas: int = 100_000
+    #: When False, scheduling trusts self-reported benchmark scores and
+    #: never learns from observed execution rates (ablation A1).
+    learn_speed: bool = True
+    #: Executions kept in flight per provider beyond its slots; hides the
+    #: result->assign network round trip for fine-grained Tasklets
+    #: (ablation A5).  0 = assign only to genuinely free slots.
+    pipeline_depth: int = 0
+
+
+@dataclass
+class BrokerStats:
+    """Counters the benchmark harness reads after a run."""
+
+    tasklets_submitted: int = 0
+    tasklets_completed: int = 0
+    tasklets_failed: int = 0
+    executions_issued: int = 0
+    executions_succeeded: int = 0
+    executions_failed: int = 0
+    executions_timed_out: int = 0
+    executions_lost: int = 0
+    replicas_queued: int = 0
+    providers_failed: int = 0
+
+
+@dataclass
+class _Outstanding:
+    execution_id: ExecutionId
+    provider_id: NodeId
+    issued_at: float
+
+
+@dataclass
+class _TaskletState:
+    """Broker-side lifecycle of one Tasklet.
+
+    ``key`` is the broker-internal identity ``consumer_id/tasklet_id``:
+    tasklet ids only need to be unique *per consumer*, never globally.
+    """
+
+    key: str
+    tasklet_id: TaskletId
+    consumer_id: NodeId
+    qoc: QoC
+    program: dict
+    program_fingerprint: str
+    entry: str
+    args: list
+    seed: int
+    fuel: int
+    submitted_at: float
+    collector: VoteCollector
+    outstanding: dict[ExecutionId, _Outstanding] = field(default_factory=dict)
+    #: Providers whose execution of this tasklet already failed; re-issue
+    #: avoids them while alternatives exist.
+    failed_providers: set[NodeId] = field(default_factory=set)
+    pending_replicas: int = 0  # replicas wanted but not yet placeable
+    issued: int = 0  # total executions ever issued
+    done: bool = False
+
+    @property
+    def budget(self) -> int:
+        return self.qoc.redundancy * self.qoc.max_attempts
+
+    @property
+    def budget_left(self) -> int:
+        return max(0, self.budget - self.issued - self.pending_replicas)
+
+
+class BrokerCore:
+    """One broker node (see module docstring)."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        strategy: Strategy | None = None,
+        config: BrokerConfig | None = None,
+        node_id: NodeId = BROKER_ADDRESS,
+        id_generator: IdGenerator | None = None,
+    ):
+        self.node_id = node_id
+        self.clock = clock
+        self.strategy = strategy or QoCStrategy()
+        self.config = config or BrokerConfig()
+        self.ids = id_generator or IdGenerator()
+        self.registry = ProviderRegistry(
+            heartbeat_interval=self.config.heartbeat_interval,
+            heartbeat_tolerance=self.config.heartbeat_tolerance,
+            learn_speed=self.config.learn_speed,
+            pipeline_depth=self.config.pipeline_depth,
+        )
+        self.stats = BrokerStats()
+        self.ledger = CostLedger()
+        self._tasklets: dict[str, _TaskletState] = {}
+        self._by_execution: dict[ExecutionId, str] = {}
+        #: Tasklet keys with queued replicas, in FIFO order of first queueing.
+        self._backlog: list[str] = []
+
+    # -- message dispatch ----------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> list[Envelope]:
+        """Process one inbound envelope; returns outbound envelopes."""
+        body = body_of(envelope)
+        if isinstance(body, RegisterProvider):
+            out = self._on_register(envelope.src, body)
+        elif isinstance(body, Unregister):
+            out = self._on_unregister(body)
+        elif isinstance(body, Heartbeat):
+            out = self._on_heartbeat(body)
+        elif isinstance(body, SubmitTasklet):
+            out = self._on_submit(envelope.src, body)
+        elif isinstance(body, ExecutionResult):
+            out = self._on_result(body)
+        elif isinstance(body, ExecutionRejected):
+            out = self._on_rejected(body)
+        else:
+            # Unknown-but-registered types addressed to us are ignored
+            # rather than fatal: forward compatibility with newer peers.
+            out = []
+        # Any inbound message may have freed capacity (a result, a
+        # registration); give queued replicas a chance immediately rather
+        # than waiting for the next tick.
+        out.extend(self._drain_backlog())
+        return out
+
+    def tick(self) -> list[Envelope]:
+        """Periodic maintenance: failure detection, timeouts, backlog."""
+        now = self.clock.now()
+        out: list[Envelope] = []
+        for provider_id in self.registry.detect_failures(now):
+            self.stats.providers_failed += 1
+            out.extend(self._fail_provider_executions(provider_id))
+        out.extend(self._expire_executions(now))
+        out.extend(self._drain_backlog())
+        return out
+
+    # -- membership handlers ----------------------------------------------------
+
+    def _on_register(self, src: NodeId, body: RegisterProvider) -> list[Envelope]:
+        out: list[Envelope] = []
+        was_known = NodeId(body.provider_id) in self.registry
+        try:
+            self.registry.register(
+                provider_id=NodeId(body.provider_id),
+                device_class=body.device_class,
+                capacity=body.capacity,
+                benchmark_score=body.benchmark_score,
+                price=body.price,
+                now=self.clock.now(),
+                heartbeat_interval=body.heartbeat_interval,
+            )
+        except TaskletError as exc:
+            ack = RegisterAck(accepted=False, reason=str(exc))
+            out.append(self._send(ack, NodeId(body.provider_id)))
+            return out
+        out.append(self._send(RegisterAck(accepted=True), NodeId(body.provider_id)))
+        if was_known:
+            # A provider we already know re-registering means it crashed
+            # and came back: everything assigned to its previous
+            # incarnation is lost.  Failing those executions now (instead
+            # of waiting for the execution timeout) is what keeps fast
+            # churn — "flapping" shorter than the heartbeat detection
+            # window — recoverable.  The fresh registration above means
+            # re-issue may legitimately pick this same provider again.
+            out.extend(self._fail_provider_executions(NodeId(body.provider_id)))
+        out.extend(self._drain_backlog())
+        return out
+
+    def _on_unregister(self, body: Unregister) -> list[Envelope]:
+        provider_id = NodeId(body.provider_id)
+        self.registry.unregister(provider_id)
+        return self._fail_provider_executions(provider_id)
+
+    def _on_heartbeat(self, body: Heartbeat) -> list[Envelope]:
+        known = self.registry.heartbeat(NodeId(body.provider_id), self.clock.now())
+        if not known:
+            # A provider we do not know (e.g. we restarted): ask it to
+            # re-register by rejecting the heartbeat.
+            return [
+                self._send(
+                    RegisterAck(accepted=False, reason="unknown provider"),
+                    NodeId(body.provider_id),
+                )
+            ]
+        return self._drain_backlog()
+
+    # -- submission -----------------------------------------------------------
+
+    def _on_submit(self, src: NodeId, body: SubmitTasklet) -> list[Envelope]:
+        self.stats.tasklets_submitted += 1
+        try:
+            tasklet = Tasklet.from_dict(body.tasklet)
+        except (TaskletError, KeyError, ValueError) as exc:
+            ack = SubmitAck(
+                tasklet_id=str(body.tasklet.get("tasklet_id", "?")),
+                accepted=False,
+                reason=f"malformed tasklet: {exc}",
+            )
+            return [self._send(ack, src)]
+        if tasklet.qoc.local_only:
+            ack = SubmitAck(
+                tasklet_id=tasklet.tasklet_id,
+                accepted=False,
+                reason="local_only tasklets must be executed by the consumer library",
+            )
+            return [self._send(ack, src)]
+        key = f"{src}/{tasklet.tasklet_id}"
+        if key in self._tasklets:
+            ack = SubmitAck(
+                tasklet_id=tasklet.tasklet_id,
+                accepted=False,
+                reason="duplicate tasklet id",
+            )
+            return [self._send(ack, src)]
+
+        state = _TaskletState(
+            key=key,
+            tasklet_id=tasklet.tasklet_id,
+            consumer_id=src,
+            qoc=tasklet.qoc,
+            program=body.tasklet["program"],
+            program_fingerprint=body.tasklet.get("program_fingerprint", ""),
+            entry=tasklet.entry,
+            args=tasklet.args,
+            seed=tasklet.seed,
+            fuel=tasklet.fuel,
+            submitted_at=self.clock.now(),
+            collector=VoteCollector(tasklet.qoc.redundancy),
+        )
+        self._tasklets[key] = state
+        out = [self._send(SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True), src)]
+        out.extend(self._issue(state, tasklet.qoc.redundancy))
+        return out
+
+    # -- execution lifecycle ------------------------------------------------------
+
+    def _issue(
+        self, state: _TaskletState, count: int, requeue: bool = False
+    ) -> list[Envelope]:
+        """Place up to ``count`` replicas; queue what cannot be placed.
+
+        ``requeue`` marks replicas that were already counted in
+        ``stats.replicas_queued`` once (backlog drains), so the counter
+        reflects distinct queueing decisions, not drain retries.
+        """
+        if state.done or count <= 0:
+            return []
+        running = {
+            outstanding.provider_id for outstanding in state.outstanding.values()
+        }
+        all_views = self.registry.views(require_free_slot=True)
+        views = [
+            view
+            for view in all_views
+            if view.provider_id not in running
+            and view.provider_id not in state.failed_providers
+        ]
+        if not views:
+            # Every candidate already failed this tasklet once; retrying
+            # them beats giving up (transient faults are common).
+            views = [
+                view for view in all_views if view.provider_id not in running
+            ]
+        chosen = self.strategy.select(views, count, state.qoc)
+        out: list[Envelope] = []
+        now = self.clock.now()
+        for provider_id in chosen:
+            record = self.registry.get(provider_id)
+            if record is None or not record.alive:
+                continue
+            execution_id = self.ids.next_execution()
+            record.outstanding += 1
+            state.outstanding[execution_id] = _Outstanding(
+                execution_id=execution_id, provider_id=provider_id, issued_at=now
+            )
+            state.issued += 1
+            self.stats.executions_issued += 1
+            self._by_execution[execution_id] = state.key
+            out.append(
+                self._send(
+                    AssignExecution(
+                        execution_id=execution_id,
+                        tasklet_id=state.tasklet_id,
+                        consumer_id=state.consumer_id,
+                        program=state.program,
+                        program_fingerprint=state.program_fingerprint,
+                        entry=state.entry,
+                        args=state.args,
+                        seed=state.seed,
+                        fuel=state.fuel,
+                    ),
+                    provider_id,
+                )
+            )
+        placed = len(out)
+        missing = count - placed
+        if missing > 0:
+            queued_total = sum(
+                s.pending_replicas for s in self._tasklets.values()
+            )
+            if queued_total + missing <= self.config.max_queued_replicas:
+                state.pending_replicas += missing
+                if not requeue:
+                    self.stats.replicas_queued += missing
+                if state.key not in self._backlog:
+                    self._backlog.append(state.key)
+        return out
+
+    def _drain_backlog(self) -> list[Envelope]:
+        """Try to place queued replicas (FIFO across Tasklets)."""
+        if not self._backlog:
+            return []
+        out: list[Envelope] = []
+        still_waiting: list[str] = []
+        for key in self._backlog:
+            state = self._tasklets.get(key)
+            if state is None or state.done or state.pending_replicas == 0:
+                continue
+            wanted = state.pending_replicas
+            state.pending_replicas = 0
+            out.extend(self._issue(state, wanted, requeue=True))
+            if state.pending_replicas > 0:
+                still_waiting.append(key)
+        self._backlog = still_waiting
+        return out
+
+    def _on_result(self, body: ExecutionResult) -> list[Envelope]:
+        execution_id = ExecutionId(body.execution_id)
+        key = self._by_execution.pop(execution_id, None)
+        if key is None:
+            return []  # late result for an already-decided tasklet
+        state = self._tasklets.get(key)
+        if state is None:
+            return []
+        outstanding = state.outstanding.pop(execution_id, None)
+        record = ExecutionRecord(
+            execution_id=execution_id,
+            tasklet_id=state.tasklet_id,
+            provider_id=NodeId(body.provider_id),
+            status=ExecutionStatus(body.status),
+            value=body.value,
+            error=body.error,
+            instructions=body.instructions,
+            started_at=body.started_at,
+            finished_at=body.finished_at,
+        )
+        provider = self.registry.get(NodeId(body.provider_id))
+        if provider is not None and outstanding is not None:
+            provider.record_result(
+                record.ok,
+                record.instructions,
+                record.duration,
+                learn_speed=self.registry.learn_speed,
+            )
+        if record.ok:
+            self.stats.executions_succeeded += 1
+            if provider is not None:
+                self.ledger.charge(
+                    consumer_id=state.consumer_id,
+                    provider_id=NodeId(body.provider_id),
+                    tasklet_key=state.key,
+                    instructions=record.instructions,
+                    price=provider.price,
+                )
+        else:
+            self.stats.executions_failed += 1
+        return self._fold_record(state, record)
+
+    def _on_rejected(self, body: ExecutionRejected) -> list[Envelope]:
+        result = ExecutionResult(
+            execution_id=body.execution_id,
+            tasklet_id=body.tasklet_id,
+            provider_id=body.provider_id,
+            status=ExecutionStatus.REJECTED.value,
+            error=body.reason or "rejected by provider",
+        )
+        return self._on_result(result)
+
+    def _fold_record(
+        self, state: _TaskletState, record: ExecutionRecord
+    ) -> list[Envelope]:
+        """Update the vote and drive the tasklet toward completion."""
+        if state.done:
+            return []
+        if not record.ok:
+            state.failed_providers.add(record.provider_id)
+        state.collector.add(record)
+        winner = state.collector.winner()
+        if winner is not None:
+            return self._complete(state, ok=True, value=winner[0].value)
+
+        out: list[Envelope] = []
+        if not record.ok and state.budget_left > 0:
+            out.extend(self._issue(state, 1))
+
+        if not state.outstanding and state.pending_replicas == 0:
+            if state.budget_left > 0:
+                # Successful-but-undecided vote (e.g. r=3 with one success
+                # and two losses): spend remaining budget on more replicas.
+                needed = state.collector.required - self._best_group_size(state)
+                out.extend(self._issue(state, max(1, needed)))
+            if not state.outstanding and state.pending_replicas == 0:
+                out.extend(self._complete_failed(state))
+        return out
+
+    @staticmethod
+    def _best_group_size(state: _TaskletState) -> int:
+        groups = state.collector.successes.values()
+        return max((len(group) for group in groups), default=0)
+
+    def _complete_failed(self, state: _TaskletState) -> list[Envelope]:
+        if state.collector.disagreement():
+            error = (
+                "replicas disagreed and no majority formed "
+                f"({len(state.collector.successes)} distinct values)"
+            )
+        elif state.collector.successes:
+            error = (
+                f"insufficient agreeing replicas: needed "
+                f"{state.collector.required}, got {self._best_group_size(state)}"
+            )
+        else:
+            failures = state.collector.failures
+            last_error = failures[-1].error if failures else "no executions possible"
+            error = f"all {len(failures)} executions failed; last: {last_error}"
+        return self._complete(state, ok=False, error=error)
+
+    def _complete(
+        self, state: _TaskletState, ok: bool, value=None, error: str | None = None
+    ) -> list[Envelope]:
+        state.done = True
+        if ok:
+            self.stats.tasklets_completed += 1
+        else:
+            self.stats.tasklets_failed += 1
+        out: list[Envelope] = []
+        # Cancel replicas still in flight and release registry bookkeeping.
+        for outstanding in state.outstanding.values():
+            self._by_execution.pop(outstanding.execution_id, None)
+            provider = self.registry.get(outstanding.provider_id)
+            if provider is not None:
+                provider.outstanding = max(0, provider.outstanding - 1)
+            out.append(
+                self._send(
+                    CancelExecution(execution_id=outstanding.execution_id),
+                    outstanding.provider_id,
+                )
+            )
+        state.outstanding.clear()
+        state.pending_replicas = 0
+        out.append(
+            self._send(
+                TaskletComplete(
+                    tasklet_id=state.tasklet_id,
+                    ok=ok,
+                    value=value,
+                    error=error,
+                    attempts=state.issued,
+                    cost=self.ledger.pop_cost_of(state.key),
+                    executions=[
+                        record.to_dict() for record in state.collector.all_records
+                    ],
+                ),
+                state.consumer_id,
+            )
+        )
+        del self._tasklets[state.key]
+        return out
+
+    # -- failure handling ---------------------------------------------------------
+
+    def _fail_provider_executions(self, provider_id: NodeId) -> list[Envelope]:
+        """Convert every outstanding execution on a dead provider into a
+        PROVIDER_LOST record and let the vote logic re-issue."""
+        out: list[Envelope] = []
+        now = self.clock.now()
+        for state in list(self._tasklets.values()):
+            lost = [
+                outstanding
+                for outstanding in state.outstanding.values()
+                if outstanding.provider_id == provider_id
+            ]
+            for outstanding in lost:
+                state.outstanding.pop(outstanding.execution_id, None)
+                self._by_execution.pop(outstanding.execution_id, None)
+                self.stats.executions_lost += 1
+                self.stats.executions_failed += 1
+                record = ExecutionRecord(
+                    execution_id=outstanding.execution_id,
+                    tasklet_id=state.tasklet_id,
+                    provider_id=provider_id,
+                    status=ExecutionStatus.PROVIDER_LOST,
+                    error="provider failed or left",
+                    started_at=outstanding.issued_at,
+                    finished_at=now,
+                )
+                out.extend(self._fold_record(state, record))
+        return out
+
+    def _expire_executions(self, now: float) -> list[Envelope]:
+        """Re-issue executions that outlived their timeout/deadline."""
+        out: list[Envelope] = []
+        for state in list(self._tasklets.values()):
+            horizon = self.config.execution_timeout
+            if state.qoc.deadline_s is not None:
+                horizon = (
+                    state.qoc.deadline_s
+                    if horizon is None
+                    else min(horizon, state.qoc.deadline_s)
+                )
+            if horizon is None:
+                continue
+            expired = [
+                outstanding
+                for outstanding in state.outstanding.values()
+                if now - outstanding.issued_at > horizon
+            ]
+            for outstanding in expired:
+                state.outstanding.pop(outstanding.execution_id, None)
+                self._by_execution.pop(outstanding.execution_id, None)
+                self.stats.executions_timed_out += 1
+                self.stats.executions_failed += 1
+                provider = self.registry.get(outstanding.provider_id)
+                if provider is not None:
+                    provider.outstanding = max(0, provider.outstanding - 1)
+                    provider.failed += 1
+                out.append(
+                    self._send(
+                        CancelExecution(execution_id=outstanding.execution_id),
+                        outstanding.provider_id,
+                    )
+                )
+                record = ExecutionRecord(
+                    execution_id=outstanding.execution_id,
+                    tasklet_id=state.tasklet_id,
+                    provider_id=outstanding.provider_id,
+                    status=ExecutionStatus.TIMEOUT,
+                    error=f"no result within {horizon}s",
+                    started_at=outstanding.issued_at,
+                    finished_at=now,
+                )
+                out.extend(self._fold_record(state, record))
+        return out
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _send(self, body: MessageBody, dst: NodeId) -> Envelope:
+        return body.envelope(src=self.node_id, dst=dst)
+
+    @property
+    def pending_tasklets(self) -> int:
+        """Tasklets admitted but not yet completed (for tests/monitoring)."""
+        return len(self._tasklets)

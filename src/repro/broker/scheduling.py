@@ -1,0 +1,226 @@
+"""Provider-selection strategies.
+
+A strategy answers one question: *given the current provider pool, which
+providers should run the next ``n`` replicas of this Tasklet?*  The broker
+invokes it once per issue/re-issue decision.
+
+All strategies are deterministic given the registry snapshot and their own
+internal state (round-robin cursor, seeded RNG), which keeps simulation
+runs reproducible.
+
+The QoC-composite strategy — the paper's scheduling contribution as we
+reconstruct it — dispatches on the Tasklet's goals:
+
+* ``speed``      → fastest-first by effective (learned) speed;
+* ``redundancy`` → replicas placed on *distinct* providers, spread across
+  device classes when possible (anti-correlation of failures);
+* ``cost_ceiling`` → providers above the ceiling are filtered out;
+* otherwise     → least-loaded (load balancing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from ..common.ids import NodeId
+from ..core.qoc import QoC
+from .registry import ProviderView
+
+
+class Strategy(Protocol):
+    """Interface every scheduling strategy implements."""
+
+    name: str
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        """Pick up to ``n`` providers for replicas of one Tasklet.
+
+        Fewer than ``n`` may be returned when the pool is small; the
+        broker then queues the remaining replicas until capacity appears.
+        Implementations must not return the same provider twice for one
+        call when ``n > 1`` replicas are requested (replica independence).
+        """
+        ...
+
+
+def _apply_cost_filter(
+    views: Sequence[ProviderView], qoc: QoC
+) -> list[ProviderView]:
+    if qoc.cost_ceiling is None:
+        return list(views)
+    return [view for view in views if view.price <= qoc.cost_ceiling]
+
+
+def _with_free_slots(views: Sequence[ProviderView]) -> list[ProviderView]:
+    return [view for view in views if view.free_slots > 0]
+
+
+class RandomStrategy:
+    """Uniformly random placement (the oblivious baseline in F4)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        candidates = _with_free_slots(_apply_cost_filter(views, qoc))
+        if not candidates:
+            return []
+        count = min(n, len(candidates))
+        chosen = self._rng.sample(candidates, count)
+        return [view.provider_id for view in chosen]
+
+
+class RoundRobinStrategy:
+    """Cycle through providers in id order (classic fair baseline)."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        candidates = _with_free_slots(_apply_cost_filter(views, qoc))
+        if not candidates:
+            return []
+        count = min(n, len(candidates))
+        chosen = []
+        for offset in range(count):
+            chosen.append(candidates[(self._cursor + offset) % len(candidates)])
+        self._cursor = (self._cursor + count) % max(1, len(candidates))
+        return [view.provider_id for view in chosen]
+
+
+class LeastLoadedStrategy:
+    """Fill the emptiest providers first (load balancing)."""
+
+    name = "least_loaded"
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        candidates = _with_free_slots(_apply_cost_filter(views, qoc))
+        # Relative load; capacity>=1 is guaranteed by registration.
+        candidates.sort(key=lambda view: (view.outstanding / view.capacity, view.provider_id))
+        return [view.provider_id for view in candidates[:n]]
+
+
+class FastestFirstStrategy:
+    """Benchmark/EWMA-aware placement: highest effective speed first.
+
+    This is the heterogeneity-aware strategy the Tasklet system uses for
+    the ``speed`` QoC goal.  Ties break toward lower load so a single fast
+    machine does not absorb the whole burst.
+    """
+
+    name = "fastest_first"
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        candidates = _with_free_slots(_apply_cost_filter(views, qoc))
+        candidates.sort(
+            key=lambda view: (
+                -view.effective_speed,
+                view.outstanding / view.capacity,
+                view.provider_id,
+            )
+        )
+        return [view.provider_id for view in candidates[:n]]
+
+
+class ReliabilityAwareStrategy:
+    """Rank by expected useful speed: speed × observed success ratio.
+
+    A fast provider that loses half its executions to churn is worth as
+    much as a half-speed stable one; this strategy encodes exactly that
+    trade-off.
+    """
+
+    name = "reliability_aware"
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        candidates = _with_free_slots(_apply_cost_filter(views, qoc))
+        candidates.sort(
+            key=lambda view: (
+                -view.effective_speed * view.reliability,
+                view.provider_id,
+            )
+        )
+        return [view.provider_id for view in candidates[:n]]
+
+
+class QoCStrategy:
+    """Goal-dispatching composite (the default broker strategy).
+
+    Replica placement additionally spreads across device classes: replicas
+    of one Tasklet land on providers of *different* classes when the pool
+    allows, reducing correlated failures (e.g. all phones leaving WiFi).
+    """
+
+    name = "qoc"
+
+    def __init__(self, seed: int = 0):
+        self._fast = FastestFirstStrategy()
+        self._balanced = LeastLoadedStrategy()
+
+    def select(
+        self, views: Sequence[ProviderView], n: int, qoc: QoC
+    ) -> list[NodeId]:
+        inner = self._fast if qoc.speed else self._balanced
+        ranked = inner.select(views, len(views), qoc)
+        if n == 1 or len(ranked) <= 1:
+            return ranked[:n]
+        # Spread replicas across device classes, preserving rank order.
+        by_id = {view.provider_id: view for view in views}
+        chosen: list[NodeId] = []
+        used_classes: set[str] = set()
+        remaining = list(ranked)
+        while remaining and len(chosen) < n:
+            pick = next(
+                (
+                    provider_id
+                    for provider_id in remaining
+                    if by_id[provider_id].device_class not in used_classes
+                ),
+                remaining[0],
+            )
+            chosen.append(pick)
+            used_classes.add(by_id[pick].device_class)
+            remaining.remove(pick)
+            if len(used_classes) >= len({view.device_class for view in views}):
+                used_classes.clear()  # all classes used once; start over
+        return chosen
+
+
+#: Strategy registry for configuration by name (benchmarks sweep this).
+STRATEGIES = {
+    "random": RandomStrategy,
+    "round_robin": RoundRobinStrategy,
+    "least_loaded": LeastLoadedStrategy,
+    "fastest_first": FastestFirstStrategy,
+    "reliability_aware": ReliabilityAwareStrategy,
+    "qoc": QoCStrategy,
+}
+
+
+def make_strategy(name: str, seed: int = 0) -> Strategy:
+    """Instantiate a strategy by registry name."""
+    if name not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}"
+        )
+    strategy_class = STRATEGIES[name]
+    if strategy_class in (RandomStrategy, QoCStrategy):
+        return strategy_class(seed=seed)
+    return strategy_class()

@@ -1,0 +1,214 @@
+"""Command-line interface: the Tasklet toolchain.
+
+    python -m repro compile  prog.tl -o prog.tvm   # source -> bytecode JSON
+    python -m repro disasm   prog.tl               # human-readable listing
+    python -m repro run      prog.tl 12 3.5        # execute locally
+    python -m repro bench                          # TVM self-benchmark
+    python -m repro simulate --providers desktop=2,sbc=4 --tasks 30
+    python -m repro report F3 F4                   # regenerate experiments
+
+``compile``/``disasm``/``run`` accept either Tasklet source (``.tl``, or
+anything that does not parse as JSON) or compiled-bytecode JSON, so the
+subcommands compose: compile once, disassemble or run the artifact later.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .common.errors import TaskletError
+from .tvm.bytecode import CompiledProgram
+from .tvm.compiler import compile_source
+from .tvm.disassembler import disassemble
+from .tvm.vm import DEFAULT_FUEL, VMLimits, execute
+
+
+def _load_program(path: str) -> CompiledProgram:
+    """Load a program from source text or bytecode JSON."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return CompiledProgram.from_dict(json.loads(text))
+    return compile_source(text)
+
+
+def _parse_cli_value(text: str):
+    """Parse one command-line Tasklet argument.
+
+    JSON first (numbers, bools, arrays, quoted strings); bare words fall
+    back to strings, so ``run prog.tl 3 4.5 true hello`` all work.
+    """
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    payload = json.dumps(program.to_dict(), indent=None, separators=(",", ":"))
+    if args.output:
+        Path(args.output).write_text(payload)
+        instructions = sum(len(f.code) for f in program.functions)
+        print(
+            f"wrote {args.output}: {len(program.functions)} functions, "
+            f"{instructions} instructions, fingerprint {program.fingerprint()}"
+        )
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    print(disassemble(_load_program(args.file)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    call_args = [_parse_cli_value(value) for value in args.args]
+    result, stats = execute(
+        program,
+        entry=args.entry,
+        args=call_args,
+        limits=VMLimits(fuel=args.fuel),
+        seed=args.seed,
+    )
+    print(json.dumps(result))
+    if args.stats:
+        print(
+            f"instructions={stats.instructions} "
+            f"calls={stats.function_calls} builtins={stats.builtin_calls} "
+            f"max_stack={stats.max_stack_depth}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .provider.benchmark import run_benchmark
+
+    report = run_benchmark(limit=args.limit, repetitions=args.repetitions)
+    print(f"TVM self-benchmark: {report.describe()}")
+    return 0
+
+
+def _parse_pool_spec(spec: str) -> dict[str, int]:
+    pool: dict[str, int] = {}
+    for part in spec.split(","):
+        name, _, count = part.partition("=")
+        pool[name.strip()] = int(count or 1)
+    return pool
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core.qoc import QoC
+    from .sim.devices import make_pool
+    from .sim.runner import Simulation
+    from .sim.workloads import prime_count
+
+    simulation = Simulation(seed=args.seed, strategy=args.strategy)
+    pool = make_pool(_parse_pool_spec(args.providers), seed=args.seed)
+    for config in pool:
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+    workload = prime_count(tasks=args.tasks, limit=args.limit)
+    qoc = QoC(redundancy=args.redundancy) if args.redundancy > 1 else QoC()
+    futures = consumer.library.map(workload.program, workload.args_list, qoc=qoc)
+    makespan = simulation.run(max_time=1e5)
+    ok = sum(1 for future in futures if future.done and future.wait(0).ok)
+    stats = simulation.broker.stats
+    print(f"pool               : {args.providers} ({len(pool)} providers)")
+    print(f"strategy           : {args.strategy}")
+    print(f"tasks              : {args.tasks} x prime_count({args.limit})")
+    print(f"completed          : {ok}/{args.tasks}")
+    print(f"virtual makespan   : {makespan * 1e3:.1f} ms")
+    print(f"executions issued  : {stats.executions_issued}")
+    print(f"messages delivered : {simulation.messages_delivered}")
+    print(f"total cost billed  : {simulation.broker.ledger.total_billed:.4f}")
+    return 0 if ok == args.tasks else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report import generate
+
+    ok = generate(
+        experiment_ids=args.ids or None,
+        quick=not args.full,
+        output_path=args.output,
+    )
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tasklet middleware toolchain"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser("compile", help="compile source to bytecode JSON")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("-o", "--output", help="output path (default: stdout)")
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    disasm_cmd = commands.add_parser("disasm", help="disassemble a program")
+    disasm_cmd.add_argument("file")
+    disasm_cmd.set_defaults(handler=_cmd_disasm)
+
+    run_cmd = commands.add_parser("run", help="execute a program locally")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("args", nargs="*", help="entry arguments (JSON or bare words)")
+    run_cmd.add_argument("--entry", default="main")
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--fuel", type=int, default=DEFAULT_FUEL)
+    run_cmd.add_argument("--stats", action="store_true", help="print VM stats to stderr")
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    bench_cmd = commands.add_parser("bench", help="run the TVM self-benchmark")
+    bench_cmd.add_argument("--limit", type=int, default=4000)
+    bench_cmd.add_argument("--repetitions", type=int, default=3)
+    bench_cmd.set_defaults(handler=_cmd_bench)
+
+    simulate_cmd = commands.add_parser(
+        "simulate", help="run a quick simulated deployment"
+    )
+    simulate_cmd.add_argument(
+        "--providers", default="desktop=2,smartphone=2",
+        help="pool spec, e.g. desktop=2,sbc=4",
+    )
+    simulate_cmd.add_argument("--tasks", type=int, default=20)
+    simulate_cmd.add_argument("--limit", type=int, default=1000)
+    simulate_cmd.add_argument("--strategy", default="qoc")
+    simulate_cmd.add_argument("--redundancy", type=int, default=1)
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.set_defaults(handler=_cmd_simulate)
+
+    report_cmd = commands.add_parser(
+        "report", help="run experiments and rewrite EXPERIMENTS.md"
+    )
+    report_cmd.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    report_cmd.add_argument("--full", action="store_true")
+    report_cmd.add_argument("--output", default="EXPERIMENTS.md")
+    report_cmd.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TaskletError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

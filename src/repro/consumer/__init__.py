@@ -1,0 +1,6 @@
+"""Consumer: the Tasklet Library and the consumer-side middleware core."""
+
+from .core import ConsumerCore, ConsumerStats
+from .library import Session, TaskletLibrary
+
+__all__ = ["ConsumerCore", "ConsumerStats", "Session", "TaskletLibrary"]

@@ -1,0 +1,131 @@
+"""The consumer core: submission bookkeeping and future resolution.
+
+Sans-IO like its broker and provider counterparts: ``submit`` produces the
+envelope to send, ``handle`` consumes broker replies and resolves the
+matching :class:`~repro.core.futures.TaskletFuture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.clock import Clock
+from ..common.ids import NodeId, TaskletId
+from ..core.futures import TaskletFuture
+from ..core.results import ExecutionRecord, TaskletResult
+from ..core.tasklet import Tasklet
+from ..transport.message import (
+    BROKER_ADDRESS,
+    Envelope,
+    SubmitAck,
+    SubmitTasklet,
+    TaskletComplete,
+    body_of,
+)
+
+
+@dataclass
+class ConsumerStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+
+
+class ConsumerCore:
+    """One consumer node's middleware state."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clock: Clock,
+        broker: NodeId = BROKER_ADDRESS,
+    ):
+        self.node_id = node_id
+        self.clock = clock
+        self.broker = broker
+        self.stats = ConsumerStats()
+        self._futures: dict[TaskletId, TaskletFuture] = {}
+        self._submitted_at: dict[TaskletId, float] = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, tasklet: Tasklet) -> tuple[TaskletFuture, list[Envelope]]:
+        """Register a future for ``tasklet`` and produce the submit message."""
+        future = TaskletFuture(tasklet.tasklet_id)
+        self._futures[tasklet.tasklet_id] = future
+        self._submitted_at[tasklet.tasklet_id] = self.clock.now()
+        self.stats.submitted += 1
+        envelope = SubmitTasklet(tasklet=tasklet.to_dict()).envelope(
+            src=self.node_id, dst=self.broker
+        )
+        return future, [envelope]
+
+    def resolve_local(self, tasklet_id: TaskletId, result: TaskletResult) -> None:
+        """Resolve a future without broker involvement (local execution)."""
+        future = self._futures.pop(tasklet_id, None)
+        self._submitted_at.pop(tasklet_id, None)
+        if future is not None:
+            if result.ok:
+                self.stats.completed += 1
+            else:
+                self.stats.failed += 1
+            future.resolve(result)
+
+    # -- broker replies ----------------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> list[Envelope]:
+        body = body_of(envelope)
+        if isinstance(body, SubmitAck):
+            if not body.accepted:
+                self.stats.rejected += 1
+                self._resolve_failed(TaskletId(body.tasklet_id), body.reason)
+            return []
+        if isinstance(body, TaskletComplete):
+            self._on_complete(body)
+            return []
+        return []
+
+    def _on_complete(self, body: TaskletComplete) -> None:
+        tasklet_id = TaskletId(body.tasklet_id)
+        future = self._futures.pop(tasklet_id, None)
+        submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+        if future is None:
+            return  # duplicate completion
+        executions = [ExecutionRecord.from_dict(item) for item in body.executions]
+        result = TaskletResult(
+            tasklet_id=tasklet_id,
+            ok=body.ok,
+            value=body.value,
+            error=body.error,
+            attempts=body.attempts,
+            cost=body.cost,
+            executions=executions,
+            submitted_at=submitted_at,
+            completed_at=self.clock.now(),
+        )
+        if result.ok:
+            self.stats.completed += 1
+        else:
+            self.stats.failed += 1
+        future.resolve(result)
+
+    def _resolve_failed(self, tasklet_id: TaskletId, reason: str) -> None:
+        future = self._futures.pop(tasklet_id, None)
+        submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+        if future is None:
+            return
+        self.stats.failed += 1
+        future.resolve(
+            TaskletResult(
+                tasklet_id=tasklet_id,
+                ok=False,
+                error=f"rejected by broker: {reason}",
+                submitted_at=submitted_at,
+                completed_at=self.clock.now(),
+            )
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._futures)

@@ -1,0 +1,178 @@
+"""The Tasklet Library: the public API applications program against.
+
+This is the paper's "Tasklet Library" — the thin layer an application
+links to issue Tasklets without caring where they run.  It adds, on top of
+a :class:`Session` (simulated or TCP):
+
+* source compilation with caching (``compile``);
+* one-call submission (``submit``) and bulk fan-out (``map``);
+* the *privacy* QoC goal: ``local_only`` Tasklets never reach the session —
+  they run on the consumer's own TVM, synchronously;
+* seed management so that every Tasklet gets a distinct but reproducible
+  PRNG seed derived from the library's base seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence
+
+from ..common.errors import TaskletError
+from ..common.ids import IdGenerator, TaskletId
+from ..common.rng import derive_seed
+from ..core.futures import TaskletFuture
+from ..core.qoc import QoC
+from ..core.results import (
+    ExecutionRecord,
+    ExecutionStatus,
+    TaskletResult,
+)
+from ..core.tasklet import Tasklet
+from ..provider.executor import TaskletExecutor
+from ..transport.message import AssignExecution
+from ..tvm.bytecode import CompiledProgram
+from ..tvm.compiler import compile_source
+from ..tvm.vm import DEFAULT_FUEL
+
+
+class Session(Protocol):
+    """Where remote Tasklets go: the simulator or a TCP connection."""
+
+    def submit_tasklet(self, tasklet: Tasklet) -> TaskletFuture:
+        """Hand one Tasklet to the middleware; returns its future."""
+        ...
+
+    def now(self) -> float:
+        """Session time (virtual in simulation, wall on TCP)."""
+        ...
+
+
+class TaskletLibrary:
+    """Application-facing entry point (see module docstring).
+
+    >>> library = TaskletLibrary(session)          # doctest: +SKIP
+    >>> program = library.compile(SOURCE)          # doctest: +SKIP
+    >>> future = library.submit(program, args=[4]) # doctest: +SKIP
+    >>> future.result()                            # doctest: +SKIP
+    """
+
+    def __init__(self, session: Session, base_seed: int = 0):
+        self.session = session
+        self.base_seed = base_seed
+        self.ids = IdGenerator()
+        self._source_cache: dict[str, CompiledProgram] = {}
+        self._local_executor = TaskletExecutor()
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, source: str) -> CompiledProgram:
+        """Compile Tasklet source (memoised per distinct source text)."""
+        cached = self._source_cache.get(source)
+        if cached is not None:
+            return cached
+        program = compile_source(source)
+        self._source_cache[source] = program
+        return program
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        program: CompiledProgram | str,
+        entry: str = "main",
+        args: Sequence[Any] | None = None,
+        qoc: QoC | None = None,
+        fuel: int = DEFAULT_FUEL,
+        seed: int | None = None,
+    ) -> TaskletFuture:
+        """Issue one Tasklet; returns its future.
+
+        ``program`` may be source text (compiled and cached) or an
+        already-compiled program.  ``seed`` defaults to a deterministic
+        per-Tasklet derivation from the library's ``base_seed``.
+        """
+        if isinstance(program, str):
+            program = self.compile(program)
+        qoc = qoc or QoC()
+        tasklet_id = self.ids.next_tasklet()
+        if seed is None:
+            seed = derive_seed(self.base_seed, tasklet_id)
+        tasklet = Tasklet(
+            tasklet_id=tasklet_id,
+            program=program,
+            entry=entry,
+            args=list(args or []),
+            qoc=qoc,
+            seed=seed,
+            fuel=fuel,
+        )
+        if qoc.local_only:
+            return self._run_local(tasklet)
+        return self.session.submit_tasklet(tasklet)
+
+    def map(
+        self,
+        program: CompiledProgram | str,
+        args_list: Sequence[Sequence[Any]],
+        entry: str = "main",
+        qoc: QoC | None = None,
+        fuel: int = DEFAULT_FUEL,
+    ) -> list[TaskletFuture]:
+        """Fan one program out over many argument tuples (bag of tasks)."""
+        if isinstance(program, str):
+            program = self.compile(program)
+        return [
+            self.submit(program, entry=entry, args=args, qoc=qoc, fuel=fuel)
+            for args in args_list
+        ]
+
+    @staticmethod
+    def gather(futures: Sequence[TaskletFuture], timeout: float | None = None) -> list[Any]:
+        """Wait for all futures; returns their values in order.
+
+        Raises :class:`~repro.common.errors.ExecutionFailed` on the first
+        failed Tasklet (partial results are available on the futures).
+        """
+        return [future.result(timeout) for future in futures]
+
+    # -- local (privacy QoC) ----------------------------------------------------
+
+    def _run_local(self, tasklet: Tasklet) -> TaskletFuture:
+        """Execute on the consumer's own TVM, never leaving the device."""
+        future = TaskletFuture(tasklet.tasklet_id)
+        request = AssignExecution(
+            execution_id=f"local-{tasklet.tasklet_id}",
+            tasklet_id=tasklet.tasklet_id,
+            consumer_id="local",
+            program=tasklet.program.to_dict(),
+            entry=tasklet.entry,
+            args=tasklet.args,
+            seed=tasklet.seed,
+            fuel=tasklet.fuel,
+        )
+        started = self.session.now()
+        outcome = self._local_executor.execute(request)
+        finished = self.session.now()
+        record = ExecutionRecord(
+            execution_id=request.execution_id,
+            tasklet_id=tasklet.tasklet_id,
+            provider_id="local",
+            status=outcome.status,
+            value=outcome.value,
+            error=outcome.error,
+            instructions=outcome.instructions,
+            started_at=started,
+            finished_at=finished,
+        )
+        future.resolve(
+            TaskletResult(
+                tasklet_id=tasklet.tasklet_id,
+                ok=outcome.ok,
+                value=outcome.value,
+                error=outcome.error,
+                attempts=1,
+                executions=[record],
+                submitted_at=started,
+                completed_at=finished,
+            )
+        )
+        return future

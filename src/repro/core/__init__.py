@@ -1,0 +1,17 @@
+"""Core Tasklet model: the unit of computation, QoC goals, results, futures."""
+
+from .futures import TaskletFuture
+from .qoc import MAX_REDUNDANCY, QoC
+from .results import ExecutionRecord, ExecutionStatus, TaskletResult, VoteCollector
+from .tasklet import Tasklet
+
+__all__ = [
+    "TaskletFuture",
+    "MAX_REDUNDANCY",
+    "QoC",
+    "ExecutionRecord",
+    "ExecutionStatus",
+    "TaskletResult",
+    "VoteCollector",
+    "Tasklet",
+]

@@ -1,0 +1,87 @@
+"""Futures returned by the consumer library.
+
+A :class:`TaskletFuture` is resolved exactly once, from whatever thread or
+event-loop callback delivers the final :class:`TaskletResult`.  It works
+in both deployment modes:
+
+* in the **simulator**, ``wait`` is never called — the simulation runner
+  drains the event loop and then reads ``result()`` (``done`` is already
+  true);
+* on the **real transport**, ``wait`` blocks the consumer thread on a
+  condition variable until the receive thread resolves the future.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..common.errors import ExecutionFailed, TimeoutExpired
+from ..common.ids import TaskletId
+from .results import TaskletResult
+
+
+class TaskletFuture:
+    """Write-once container for a Tasklet's final result."""
+
+    def __init__(self, tasklet_id: TaskletId):
+        self.tasklet_id = tasklet_id
+        self._condition = threading.Condition()
+        self._result: TaskletResult | None = None
+        self._callbacks: list[Callable[[TaskletResult], None]] = []
+
+    # -- producer side ----------------------------------------------------------
+
+    def resolve(self, result: TaskletResult) -> None:
+        """Deliver the final result.  Second resolution is ignored —
+        duplicate delivery is normal when a re-issued execution and the
+        original both eventually answer."""
+        with self._condition:
+            if self._result is not None:
+                return
+            self._result = result
+            callbacks = list(self._callbacks)
+            self._condition.notify_all()
+        for callback in callbacks:
+            callback(result)
+
+    # -- consumer side ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        with self._condition:
+            return self._result is not None
+
+    def add_done_callback(self, callback: Callable[[TaskletResult], None]) -> None:
+        """Run ``callback(result)`` on resolution (immediately if done)."""
+        with self._condition:
+            if self._result is None:
+                self._callbacks.append(callback)
+                return
+            result = self._result
+        callback(result)
+
+    def wait(self, timeout: float | None = None) -> TaskletResult:
+        """Block until resolved; raises :class:`TimeoutExpired` on timeout."""
+        with self._condition:
+            if self._result is None:
+                self._condition.wait(timeout)
+            if self._result is None:
+                raise TimeoutExpired(
+                    f"tasklet {self.tasklet_id} still pending after {timeout}s"
+                )
+            return self._result
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Return the Tasklet's value, or raise :class:`ExecutionFailed`.
+
+        This is the high-level accessor most applications use; ``wait``
+        returns the full :class:`TaskletResult` record instead.
+        """
+        outcome = self.wait(timeout)
+        if not outcome.ok:
+            raise ExecutionFailed(
+                f"tasklet {self.tasklet_id} failed: {outcome.error}",
+                attempts=outcome.attempts,
+            )
+        return outcome.value

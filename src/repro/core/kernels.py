@@ -1,0 +1,244 @@
+"""Standard Tasklet kernels.
+
+A small library of Tasklet-language programs used throughout the examples,
+tests, and benchmark harness.  They correspond to the application classes
+the paper's middleware targets: embarrassingly parallel numeric work
+(fractal rendering, Monte-Carlo simulation), dense linear algebra tiles,
+and pure integer compute (used for provider self-benchmarking).
+
+Each kernel is exposed as a source string plus a ``python_*`` reference
+implementation.  The reference implementations serve two purposes:
+
+* they are the *native baseline* in the VM-overhead experiment (F1) —
+  the paper compared TVM execution against native code; our "native" is
+  host-language Python, which preserves the measured quantity
+  (interpretation overhead of the portable VM layer);
+* tests use them as oracles for VM correctness.
+"""
+
+from __future__ import annotations
+
+MANDELBROT_ROW = """
+// One row of a Mandelbrot-set rendering: the classic bag-of-tasks unit.
+func main(y: int, width: int, height: int, max_iter: int) -> array {
+    var row: array = array(width);
+    var ci: float = float(y) / float(height) * 2.0 - 1.0;
+    for (var x: int = 0; x < width; x = x + 1) {
+        var cr: float = float(x) / float(width) * 3.5 - 2.5;
+        var zr: float = 0.0;
+        var zi: float = 0.0;
+        var iter: int = 0;
+        while (iter < max_iter && zr * zr + zi * zi <= 4.0) {
+            var t: float = zr * zr - zi * zi + cr;
+            zi = 2.0 * zr * zi + ci;
+            zr = t;
+            iter = iter + 1;
+        }
+        row[x] = iter;
+    }
+    return row;
+}
+"""
+
+
+def python_mandelbrot_row(y: int, width: int, height: int, max_iter: int) -> list[int]:
+    """Reference implementation of :data:`MANDELBROT_ROW`."""
+    row = [0] * width
+    ci = y / height * 2.0 - 1.0
+    for x in range(width):
+        cr = x / width * 3.5 - 2.5
+        zr = zi = 0.0
+        iteration = 0
+        while iteration < max_iter and zr * zr + zi * zi <= 4.0:
+            zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+            iteration += 1
+        row[x] = iteration
+    return row
+
+
+MONTE_CARLO_PI = """
+// Estimate pi by sampling `samples` points in the unit square.
+// Deterministic per seed: replicas agree bit-for-bit.
+func main(samples: int) -> int {
+    var hits: int = 0;
+    for (var i: int = 0; i < samples; i = i + 1) {
+        var x: float = rand();
+        var y: float = rand();
+        if (x * x + y * y <= 1.0) {
+            hits = hits + 1;
+        }
+    }
+    return hits;
+}
+"""
+
+
+MATMUL_TILE = """
+// Multiply two square tiles given as flattened row-major arrays.
+func main(a: array, b: array, n: int) -> array {
+    var c: array = array(n * n);
+    for (var i: int = 0; i < n; i = i + 1) {
+        for (var j: int = 0; j < n; j = j + 1) {
+            var acc: float = 0.0;
+            for (var k: int = 0; k < n; k = k + 1) {
+                acc = acc + float(a[i * n + k]) * float(b[k * n + j]);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+"""
+
+
+def python_matmul_tile(a: list[float], b: list[float], n: int) -> list[float]:
+    """Reference implementation of :data:`MATMUL_TILE`."""
+    c = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc += float(a[i * n + k]) * float(b[k * n + j])
+            c[i * n + j] = acc
+    return c
+
+
+FIBONACCI = """
+// Naive recursive Fibonacci: stresses the call machinery.
+func fib(n: int) -> int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main(n: int) -> int {
+    return fib(n);
+}
+"""
+
+
+def python_fibonacci(n: int) -> int:
+    """Reference implementation of :data:`FIBONACCI`."""
+    if n < 2:
+        return n
+    return python_fibonacci(n - 1) + python_fibonacci(n - 2)
+
+
+PRIME_COUNT = """
+// Count primes below `limit` by trial division: pure integer compute,
+// used as the provider self-benchmark kernel.
+func is_prime(n: int) -> bool {
+    if (n < 2) { return false; }
+    if (n % 2 == 0) { return n == 2; }
+    for (var d: int = 3; d * d <= n; d = d + 2) {
+        if (n % d == 0) { return false; }
+    }
+    return true;
+}
+func main(limit: int) -> int {
+    var count: int = 0;
+    for (var n: int = 2; n < limit; n = n + 1) {
+        if (is_prime(n)) { count = count + 1; }
+    }
+    return count;
+}
+"""
+
+
+def python_prime_count(limit: int) -> int:
+    """Reference implementation of :data:`PRIME_COUNT`."""
+
+    def is_prime(n: int) -> bool:
+        if n < 2:
+            return False
+        if n % 2 == 0:
+            return n == 2
+        d = 3
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 2
+        return True
+
+    return sum(1 for n in range(2, limit) if is_prime(n))
+
+
+NUMERIC_INTEGRATION = """
+// Integrate sin(x)*exp(-x/4) over [lo, hi] with the trapezoid rule.
+func f(x: float) -> float {
+    return sin(x) * exp(0.0 - x / 4.0);
+}
+func main(lo: float, hi: float, steps: int) -> float {
+    var h: float = (hi - lo) / float(steps);
+    var acc: float = (f(lo) + f(hi)) / 2.0;
+    for (var i: int = 1; i < steps; i = i + 1) {
+        acc = acc + f(lo + float(i) * h);
+    }
+    return acc * h;
+}
+"""
+
+
+def python_numeric_integration(lo: float, hi: float, steps: int) -> float:
+    """Reference implementation of :data:`NUMERIC_INTEGRATION`."""
+    import math
+
+    def f(x: float) -> float:
+        return math.sin(x) * math.exp(0.0 - x / 4.0)
+
+    h = (hi - lo) / float(steps)
+    acc = (f(lo) + f(hi)) / 2.0
+    for i in range(1, steps):
+        acc += f(lo + float(i) * h)
+    return acc * h
+
+
+WORD_HISTOGRAM = """
+// Toy data-parallel text kernel: histogram of character classes.
+// Returns [letters, digits, spaces, other].
+func main(text: string) -> array {
+    var counts: array = [0, 0, 0, 0];
+    for (var i: int = 0; i < len(text); i = i + 1) {
+        var c: string = text[i];
+        if (c >= "a" && c <= "z" || c >= "A" && c <= "Z") {
+            counts[0] = int(counts[0]) + 1;
+        } else {
+            if (c >= "0" && c <= "9") {
+                counts[1] = int(counts[1]) + 1;
+            } else {
+                if (c == " ") {
+                    counts[2] = int(counts[2]) + 1;
+                } else {
+                    counts[3] = int(counts[3]) + 1;
+                }
+            }
+        }
+    }
+    return counts;
+}
+"""
+
+
+def python_word_histogram(text: str) -> list[int]:
+    """Reference implementation of :data:`WORD_HISTOGRAM`."""
+    counts = [0, 0, 0, 0]
+    for character in text:
+        if character.isascii() and character.isalpha():
+            counts[0] += 1
+        elif character.isdigit():
+            counts[1] += 1
+        elif character == " ":
+            counts[2] += 1
+        else:
+            counts[3] += 1
+    return counts
+
+
+#: Registry used by the benchmark harness to sweep over kernels.
+ALL_KERNELS: dict[str, str] = {
+    "mandelbrot_row": MANDELBROT_ROW,
+    "monte_carlo_pi": MONTE_CARLO_PI,
+    "matmul_tile": MATMUL_TILE,
+    "fibonacci": FIBONACCI,
+    "prime_count": PRIME_COUNT,
+    "numeric_integration": NUMERIC_INTEGRATION,
+    "word_histogram": WORD_HISTOGRAM,
+}

@@ -1,0 +1,178 @@
+"""Execution results and replica voting.
+
+One Tasklet can produce several :class:`ExecutionRecord`\\ s (replicas,
+retries).  The broker folds them through a :class:`VoteCollector` to
+decide the final :class:`TaskletResult` the consumer sees.
+
+Because Tasklets are deterministic (shared seed, closed world), honest
+replicas return *identical* values; voting is therefore exact-equality
+majority, which catches both corrupted results and byzantine providers
+without any application-specific comparison logic.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..common.ids import ExecutionId, NodeId, TaskletId
+
+
+class ExecutionStatus(enum.Enum):
+    """Terminal status of one execution attempt."""
+
+    SUCCESS = "success"
+    VM_ERROR = "vm_error"  # the Tasklet itself failed (type error, fuel...)
+    PROVIDER_LOST = "provider_lost"  # crash/churn before a result arrived
+    TIMEOUT = "timeout"  # deadline-based re-issue gave up on it
+    REJECTED = "rejected"  # provider refused (overloaded, shutting down)
+
+
+@dataclass
+class ExecutionRecord:
+    """Outcome of one execution attempt on one provider."""
+
+    execution_id: ExecutionId
+    tasklet_id: TaskletId
+    provider_id: NodeId
+    status: ExecutionStatus
+    value: Any = None
+    error: str | None = None
+    instructions: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecutionStatus.SUCCESS
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "execution_id": self.execution_id,
+            "tasklet_id": self.tasklet_id,
+            "provider_id": self.provider_id,
+            "status": self.status.value,
+            "value": self.value,
+            "error": self.error,
+            "instructions": self.instructions,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExecutionRecord":
+        return cls(
+            execution_id=ExecutionId(data["execution_id"]),
+            tasklet_id=TaskletId(data["tasklet_id"]),
+            provider_id=NodeId(data["provider_id"]),
+            status=ExecutionStatus(data["status"]),
+            value=data.get("value"),
+            error=data.get("error"),
+            instructions=int(data.get("instructions", 0)),
+            started_at=float(data.get("started_at", 0.0)),
+            finished_at=float(data.get("finished_at", 0.0)),
+        )
+
+
+@dataclass
+class TaskletResult:
+    """Final, consumer-visible outcome of a Tasklet."""
+
+    tasklet_id: TaskletId
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    cost: float = 0.0  # billed cost units (see repro.broker.accounting)
+    executions: list[ExecutionRecord] = field(default_factory=list)
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end time from submission to final result."""
+        return max(0.0, self.completed_at - self.submitted_at)
+
+    @property
+    def provider_seconds(self) -> float:
+        """Total provider time consumed across all executions."""
+        return sum(record.duration for record in self.executions)
+
+
+def _vote_key(value: Any) -> str:
+    """Canonical representation used to group equal replica results.
+
+    JSON with sorted keys: structural equality for the nested
+    list/scalar values Tasklets return, while distinguishing ``1`` from
+    ``1.0`` and ``True`` (Tasklet results keep their runtime types).
+    """
+
+    def tag(item: Any) -> Any:
+        if isinstance(item, bool):
+            return ["b", item]
+        if isinstance(item, int):
+            return ["i", item]
+        if isinstance(item, float):
+            return ["f", repr(item)]
+        if isinstance(item, str):
+            return ["s", item]
+        if isinstance(item, list):
+            return ["l", [tag(element) for element in item]]
+        if item is None:
+            return ["n"]
+        raise TypeError(f"unexpected result type {type(item).__name__}")
+
+    return json.dumps(tag(value), separators=(",", ":"))
+
+
+class VoteCollector:
+    """Collects replica results for one Tasklet and decides acceptance.
+
+    ``required`` is the number of *agreeing* successful results needed.
+    For plain redundancy-r execution the broker uses
+    ``required = r // 2 + 1`` (simple majority), so r=2 tolerates one
+    lost replica and r=3 additionally tolerates one corrupted value.
+    """
+
+    def __init__(self, redundancy: int, required: int | None = None):
+        if redundancy < 1:
+            raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+        self.redundancy = redundancy
+        self.required = required if required is not None else redundancy // 2 + 1
+        self.successes: dict[str, list[ExecutionRecord]] = {}
+        self.failures: list[ExecutionRecord] = []
+
+    def add(self, record: ExecutionRecord) -> None:
+        """Fold in one terminal execution record."""
+        if record.ok:
+            self.successes.setdefault(_vote_key(record.value), []).append(record)
+        else:
+            self.failures.append(record)
+
+    @property
+    def all_records(self) -> list[ExecutionRecord]:
+        records = list(self.failures)
+        for group in self.successes.values():
+            records.extend(group)
+        return records
+
+    def winner(self) -> list[ExecutionRecord] | None:
+        """The agreeing group that reached ``required`` votes, if any."""
+        for group in self.successes.values():
+            if len(group) >= self.required:
+                return group
+        return None
+
+    @property
+    def decided(self) -> bool:
+        return self.winner() is not None
+
+    def disagreement(self) -> bool:
+        """True when successful replicas returned conflicting values."""
+        return len(self.successes) > 1

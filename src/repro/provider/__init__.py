@@ -1,0 +1,20 @@
+"""Provider: TVM execution host with self-benchmark and failure injection."""
+
+from .benchmark import BenchmarkReport, run_benchmark
+from .core import Outbound, ProviderConfig, ProviderCore, ProviderCoreStats
+from .executor import ExecutionOutcome, TaskletExecutor
+from .failure import ExecutionFailureModel, FaultKind, corrupt_value
+
+__all__ = [
+    "BenchmarkReport",
+    "run_benchmark",
+    "Outbound",
+    "ProviderConfig",
+    "ProviderCore",
+    "ProviderCoreStats",
+    "ExecutionOutcome",
+    "TaskletExecutor",
+    "ExecutionFailureModel",
+    "FaultKind",
+    "corrupt_value",
+]

@@ -1,0 +1,104 @@
+"""Tasklet execution on a provider: the TVM wrapper.
+
+:class:`TaskletExecutor` turns an :class:`AssignExecution` request into an
+:class:`ExecutionOutcome`.  It is deliberately synchronous — concurrency
+is the responsibility of the caller (slot scheduling in the simulated
+provider, worker threads in the TCP provider).
+
+A small LRU of verified programs avoids re-deserialising and re-verifying
+bytecode for bag-of-tasks workloads, where thousands of Tasklets share one
+program (the common case for this middleware).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import VMError
+from ..core.results import ExecutionStatus
+from ..tvm.bytecode import CompiledProgram
+from ..tvm.vm import TVM, VMLimits
+from ..transport.message import AssignExecution
+
+#: How many distinct programs a provider keeps verified in memory.
+PROGRAM_CACHE_SIZE = 64
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one execution attempt produced."""
+
+    status: ExecutionStatus
+    value: Any = None
+    error: str | None = None
+    instructions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecutionStatus.SUCCESS
+
+
+class TaskletExecutor:
+    """Executes assignments on this host's TVM."""
+
+    def __init__(self, cache_size: int = PROGRAM_CACHE_SIZE):
+        self._cache: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _load_program(self, program_dict: dict, claimed_fingerprint: str) -> CompiledProgram:
+        """Return a verified program, via the cache when possible.
+
+        The cache is keyed on the fingerprint the *consumer* stamped on
+        the assignment, so a hit skips deserialisation entirely.  On a
+        miss the fingerprint is recomputed from the actual payload and
+        compared against the claim — a consumer cannot poison the cache
+        for other consumers' programs.
+        """
+        if claimed_fingerprint:
+            cached = self._cache.get(claimed_fingerprint)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(claimed_fingerprint)
+                return cached
+        self.cache_misses += 1
+        program = CompiledProgram.from_dict(program_dict)
+        key = program.fingerprint()
+        if claimed_fingerprint and claimed_fingerprint != key:
+            raise VMError(
+                f"program fingerprint mismatch: claimed {claimed_fingerprint}, "
+                f"actual {key}"
+            )
+        program.verify()
+        if self._cache_size > 0:
+            self._cache[key] = program
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return program
+
+    def execute(self, request: AssignExecution) -> ExecutionOutcome:
+        """Run one assignment to completion (success or VM failure)."""
+        try:
+            program = self._load_program(
+                request.program, request.program_fingerprint
+            )
+            machine = TVM(
+                program,
+                limits=VMLimits(fuel=request.fuel),
+                seed=request.seed,
+                verify=False,  # verified on cache insertion
+            )
+            value = machine.run(request.entry, list(request.args))
+            return ExecutionOutcome(
+                status=ExecutionStatus.SUCCESS,
+                value=value,
+                instructions=machine.stats.instructions,
+            )
+        except VMError as exc:
+            return ExecutionOutcome(
+                status=ExecutionStatus.VM_ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+            )

@@ -1,0 +1,96 @@
+"""Provider availability churn.
+
+Edge providers come and go: laptops close, phones leave WiFi, desktops get
+busy.  We model availability as an alternating ON/OFF renewal process with
+exponential sojourn times — the standard model for volunteer-computing
+availability traces — plus a deterministic trace-driven variant for tests.
+
+The *duty cycle* (fraction of time available) of an exponential model is
+``mean_up / (mean_up + mean_down)``; experiment F7 sweeps it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence
+
+
+class ChurnModel(Protocol):
+    """Produces alternating up/down durations for one provider."""
+
+    def sessions(self) -> Iterator[tuple[bool, float]]:
+        """Yield ``(is_up, duration_s)`` segments, starting with up."""
+        ...
+
+
+@dataclass
+class NoChurn:
+    """Always available."""
+
+    def sessions(self) -> Iterator[tuple[bool, float]]:
+        while True:
+            yield (True, float("inf"))
+
+
+class ExponentialChurn:
+    """Exponential ON/OFF process.
+
+    >>> churn = ExponentialChurn(mean_up_s=60, mean_down_s=20, seed=1)
+    >>> churn.duty_cycle
+    0.75
+    """
+
+    def __init__(self, mean_up_s: float, mean_down_s: float, seed: int = 0):
+        if mean_up_s <= 0 or mean_down_s < 0:
+            raise ValueError(
+                f"mean durations must be positive (up={mean_up_s}, down={mean_down_s})"
+            )
+        self.mean_up_s = mean_up_s
+        self.mean_down_s = mean_down_s
+        self._rng = random.Random(seed)
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.mean_up_s / (self.mean_up_s + self.mean_down_s)
+
+    def sessions(self) -> Iterator[tuple[bool, float]]:
+        while True:
+            yield (True, self._rng.expovariate(1.0 / self.mean_up_s))
+            if self.mean_down_s > 0:
+                yield (False, self._rng.expovariate(1.0 / self.mean_down_s))
+
+    @classmethod
+    def from_duty_cycle(
+        cls, duty_cycle: float, cycle_s: float = 80.0, seed: int = 0
+    ) -> "ExponentialChurn":
+        """Build a model with a target availability fraction.
+
+        ``cycle_s`` is the mean up+down period; F7 keeps it fixed while
+        sweeping ``duty_cycle`` so that comparisons isolate availability.
+        """
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1], got {duty_cycle}")
+        mean_up = duty_cycle * cycle_s
+        mean_down = (1.0 - duty_cycle) * cycle_s
+        return cls(mean_up_s=mean_up, mean_down_s=mean_down, seed=seed)
+
+
+class TraceChurn:
+    """Replay an explicit ``(is_up, duration)`` trace, then stay in the
+    final state forever.  Used by tests that need exact churn timing."""
+
+    def __init__(self, trace: Sequence[tuple[bool, float]]):
+        if not trace:
+            raise ValueError("trace must not be empty")
+        for is_up, duration in trace:
+            if duration < 0:
+                raise ValueError(f"negative duration in trace: {duration}")
+        self.trace = list(trace)
+
+    def sessions(self) -> Iterator[tuple[bool, float]]:
+        for segment in self.trace:
+            yield segment
+        final_state = self.trace[-1][0]
+        while True:
+            yield (final_state, float("inf"))

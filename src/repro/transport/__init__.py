@@ -1,0 +1,39 @@
+"""Transport: typed messages plus the real TCP deployment (see tcp.py)."""
+
+from .message import (
+    AssignExecution,
+    BROKER_ADDRESS,
+    CancelExecution,
+    Envelope,
+    ExecutionRejected,
+    ExecutionResult,
+    Heartbeat,
+    MESSAGE_TYPES,
+    MessageBody,
+    RegisterAck,
+    RegisterProvider,
+    SubmitAck,
+    SubmitTasklet,
+    TaskletComplete,
+    Unregister,
+    body_of,
+)
+
+__all__ = [
+    "AssignExecution",
+    "BROKER_ADDRESS",
+    "CancelExecution",
+    "Envelope",
+    "ExecutionRejected",
+    "ExecutionResult",
+    "Heartbeat",
+    "MESSAGE_TYPES",
+    "MessageBody",
+    "RegisterAck",
+    "RegisterProvider",
+    "SubmitAck",
+    "SubmitTasklet",
+    "TaskletComplete",
+    "Unregister",
+    "body_of",
+]

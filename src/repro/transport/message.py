@@ -1,0 +1,246 @@
+"""Typed messages exchanged between consumers, brokers, and providers.
+
+Every message travels inside an :class:`Envelope` — a routable record with
+source, destination, message type, and a JSON-safe payload dict.  Bodies
+are typed dataclasses registered in :data:`MESSAGE_TYPES`; ``body_of``
+reconstructs the typed body from an envelope.
+
+The protocol (arrows show direction; B=broker, P=provider, C=consumer)::
+
+    P -> B   REGISTER_PROVIDER      join the provider pool
+    B -> P   REGISTER_ACK           accept/reject
+    P -> B   HEARTBEAT              liveness + load report
+    P -> B   UNREGISTER             graceful leave
+    C -> B   SUBMIT_TASKLET         new Tasklet with QoC goals
+    B -> C   SUBMIT_ACK             accepted / no provider / bad request
+    B -> P   ASSIGN_EXECUTION       one replica of a Tasklet
+    P -> B   EXECUTION_RESULT       success or VM failure, with stats
+    P -> B   EXECUTION_REJECTED     provider refuses (full/leaving)
+    B -> P   CANCEL_EXECUTION       replica no longer needed
+    B -> C   TASKLET_COMPLETE       final voted result
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Type
+
+from ..common.errors import TransportError
+from ..common.ids import ExecutionId, NodeId, TaskletId
+
+#: Broadcast / well-known addresses.
+BROKER_ADDRESS = NodeId("broker")
+
+_envelope_counter = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """Routable wrapper around one message body."""
+
+    type: str
+    src: NodeId
+    dst: NodeId
+    payload: dict[str, Any]
+    seq: int = field(default_factory=lambda: next(_envelope_counter))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.type,
+            "src": self.src,
+            "dst": self.dst,
+            "payload": self.payload,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Envelope":
+        try:
+            return cls(
+                type=str(data["type"]),
+                src=NodeId(data["src"]),
+                dst=NodeId(data["dst"]),
+                payload=dict(data["payload"]),
+                seq=int(data.get("seq", 0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TransportError(f"malformed envelope: {exc}") from exc
+
+
+#: type-name -> body class registry, filled by ``_message`` below.
+MESSAGE_TYPES: dict[str, Type["MessageBody"]] = {}
+
+
+class MessageBody:
+    """Base class for typed message bodies.
+
+    Subclasses are dataclasses whose fields are JSON-safe values; the
+    default ``to_payload``/``from_payload`` just use ``__dict__``.
+    """
+
+    TYPE: ClassVar[str] = ""
+
+    def to_payload(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "MessageBody":
+        return cls(**payload)
+
+    def envelope(self, src: NodeId, dst: NodeId) -> Envelope:
+        """Wrap this body for transmission."""
+        return Envelope(type=self.TYPE, src=src, dst=dst, payload=self.to_payload())
+
+
+def _message(type_name: str):
+    """Class decorator: set TYPE and register in :data:`MESSAGE_TYPES`."""
+
+    def wrap(cls):
+        cls.TYPE = type_name
+        MESSAGE_TYPES[type_name] = cls
+        return cls
+
+    return wrap
+
+
+def body_of(envelope: Envelope) -> MessageBody:
+    """Reconstruct the typed body of an envelope."""
+    body_class = MESSAGE_TYPES.get(envelope.type)
+    if body_class is None:
+        raise TransportError(f"unknown message type {envelope.type!r}")
+    try:
+        return body_class.from_payload(envelope.payload)
+    except TypeError as exc:
+        raise TransportError(
+            f"malformed {envelope.type} payload: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Provider <-> broker
+# ---------------------------------------------------------------------------
+
+
+@_message("register_provider")
+@dataclass
+class RegisterProvider(MessageBody):
+    """A provider joins the pool, reporting its capabilities."""
+
+    provider_id: str
+    device_class: str
+    capacity: int  # concurrent execution slots
+    benchmark_score: float  # instructions/second from self-benchmark
+    price: float = 0.0  # cost units per 1e9 instructions (cost QoC)
+    #: How often this provider promises to heartbeat; the broker's failure
+    #: detector scales its per-provider horizon accordingly.
+    heartbeat_interval: float = 1.0
+
+
+@_message("register_ack")
+@dataclass
+class RegisterAck(MessageBody):
+    accepted: bool
+    reason: str = ""
+
+
+@_message("unregister")
+@dataclass
+class Unregister(MessageBody):
+    provider_id: str
+
+
+@_message("heartbeat")
+@dataclass
+class Heartbeat(MessageBody):
+    """Periodic liveness + load report; also the failure detector input."""
+
+    provider_id: str
+    free_slots: int
+    queue_length: int = 0
+
+
+@_message("assign_execution")
+@dataclass
+class AssignExecution(MessageBody):
+    """One replica of a Tasklet, shipped to one provider."""
+
+    execution_id: str
+    tasklet_id: str
+    consumer_id: str
+    program: dict[str, Any]  # CompiledProgram.to_dict()
+    entry: str
+    args: list[Any]
+    seed: int
+    fuel: int
+    #: Content hash of ``program``; lets the provider's program cache hit
+    #: without deserialising the payload.  Verified on every cache miss.
+    program_fingerprint: str = ""
+
+
+@_message("execution_result")
+@dataclass
+class ExecutionResult(MessageBody):
+    """Terminal outcome of one execution attempt."""
+
+    execution_id: str
+    tasklet_id: str
+    provider_id: str
+    status: str  # ExecutionStatus.value
+    value: Any = None
+    error: str | None = None
+    instructions: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+
+@_message("execution_rejected")
+@dataclass
+class ExecutionRejected(MessageBody):
+    execution_id: str
+    tasklet_id: str
+    provider_id: str
+    reason: str = ""
+
+
+@_message("cancel_execution")
+@dataclass
+class CancelExecution(MessageBody):
+    """Sent when a replica's result is no longer needed (vote decided)."""
+
+    execution_id: str
+
+
+# ---------------------------------------------------------------------------
+# Consumer <-> broker
+# ---------------------------------------------------------------------------
+
+
+@_message("submit_tasklet")
+@dataclass
+class SubmitTasklet(MessageBody):
+    """A consumer hands a Tasklet to the broker."""
+
+    tasklet: dict[str, Any]  # Tasklet.to_dict()
+
+
+@_message("submit_ack")
+@dataclass
+class SubmitAck(MessageBody):
+    tasklet_id: str
+    accepted: bool
+    reason: str = ""
+
+
+@_message("tasklet_complete")
+@dataclass
+class TaskletComplete(MessageBody):
+    """Final, voted outcome delivered to the consumer."""
+
+    tasklet_id: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    cost: float = 0.0  # total billed across all executions (cost QoC)
+    executions: list[dict[str, Any]] = field(default_factory=list)

@@ -1,0 +1,521 @@
+"""Real TCP deployment of the Tasklet middleware.
+
+The same sans-IO cores used by the simulator run here behind threaded
+socket plumbing:
+
+* :class:`TcpBroker` — accepts connections from providers and consumers;
+  one reader thread per connection feeds :class:`BrokerCore` (behind a
+  lock), outbound envelopes are routed by destination node id;
+* :class:`TcpProvider` — connects, self-benchmarks, registers, executes
+  assignments on a pool of worker threads, heartbeats periodically;
+* :class:`TcpConsumer` — a :class:`~repro.consumer.library.Session` over a
+  broker connection, so ``TaskletLibrary`` works unchanged.
+
+For *parallel* scaling on one machine (experiment F8) use
+:func:`spawn_provider_process`: each provider lives in its own OS process,
+so TVM execution escapes the GIL.
+
+Framing is the 4-byte-length-prefixed JSON of :mod:`repro.common.serde`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..broker.core import BrokerConfig, BrokerCore
+from ..broker.scheduling import make_strategy
+from ..common.clock import WallClock
+from ..common.errors import ConnectionClosed, TransportError
+from ..common.ids import NodeId, random_id
+from ..common.serde import FrameReader, pack_frame
+from ..consumer.core import ConsumerCore
+from ..consumer.library import TaskletLibrary
+from ..core.futures import TaskletFuture
+from ..core.tasklet import Tasklet
+from ..provider.benchmark import run_benchmark
+from ..provider.executor import TaskletExecutor
+from ..transport.message import (
+    AssignExecution,
+    BROKER_ADDRESS,
+    CancelExecution,
+    Envelope,
+    ExecutionResult,
+    Heartbeat,
+    RegisterProvider,
+    Unregister,
+    body_of,
+)
+
+_RECV_CHUNK = 65536
+
+
+class _Connection:
+    """One framed, thread-safe TCP connection."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.reader = FrameReader()
+        self._send_lock = threading.Lock()
+        self.peer_id: NodeId | None = None  # learned from first envelope
+
+    def send(self, envelope: Envelope) -> None:
+        data = pack_frame(envelope.to_dict())
+        with self._send_lock:
+            try:
+                self.sock.sendall(data)
+            except OSError as exc:
+                raise ConnectionClosed(f"send failed: {exc}") from exc
+
+    def recv_envelopes(self) -> list[Envelope] | None:
+        """Block for data; completed envelopes, or ``None`` on EOF/garbage.
+
+        A peer that sends undecodable bytes is indistinguishable from a
+        broken one: the connection is reported dead (``None``) and the
+        caller drops it.  One bad client must never take down the node.
+        """
+        try:
+            chunk = self.sock.recv(_RECV_CHUNK)
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        try:
+            return [Envelope.from_dict(frame) for frame in self.reader.feed(chunk)]
+        except TransportError:
+            return None
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def _connect(host: str, port: int, timeout: float = 10.0) -> _Connection:
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return _Connection(sock)
+
+
+class TcpBroker:
+    """The broker as a TCP server (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        strategy: str = "qoc",
+        config: BrokerConfig | None = None,
+    ):
+        self.config = config or BrokerConfig()
+        self.core = BrokerCore(
+            clock=WallClock(),
+            strategy=make_strategy(strategy),
+            config=self.config,
+        )
+        self._core_lock = threading.Lock()
+        self._connections: dict[NodeId, _Connection] = {}
+        self._connections_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._running = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TcpBroker":
+        self._running.set()
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="broker-accept", daemon=True
+        )
+        tick_thread = threading.Thread(
+            target=self._tick_loop, name="broker-tick", daemon=True
+        )
+        self._threads += [accept_thread, tick_thread]
+        accept_thread.start()
+        tick_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._connections_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "TcpBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(sock)
+            thread = threading.Thread(
+                target=self._reader_loop, args=(connection,), daemon=True
+            )
+            thread.start()
+
+    def _reader_loop(self, connection: _Connection) -> None:
+        while self._running.is_set():
+            envelopes = connection.recv_envelopes()
+            if envelopes is None:
+                connection.close()
+                break
+            for envelope in envelopes:
+                if connection.peer_id is None:
+                    connection.peer_id = envelope.src
+                    with self._connections_lock:
+                        self._connections[envelope.src] = connection
+                with self._core_lock:
+                    outbound = self.core.handle(envelope)
+                self._route(outbound)
+        # Connection gone: a provider that drops TCP is handled by the
+        # heartbeat failure detector; nothing else to do here.
+        if connection.peer_id is not None:
+            with self._connections_lock:
+                if self._connections.get(connection.peer_id) is connection:
+                    del self._connections[connection.peer_id]
+
+    def _tick_loop(self) -> None:
+        interval = self.config.heartbeat_interval / 2.0
+        while self._running.is_set():
+            self._running.wait(0)  # fast exit check
+            threading.Event().wait(interval)  # plain sleep, interrupt-free
+            if not self._running.is_set():
+                return
+            with self._core_lock:
+                outbound = self.core.tick()
+            self._route(outbound)
+
+    def _route(self, envelopes: list[Envelope]) -> None:
+        for envelope in envelopes:
+            with self._connections_lock:
+                connection = self._connections.get(envelope.dst)
+            if connection is None:
+                continue  # peer gone; failure detector will clean up
+            try:
+                connection.send(envelope)
+            except ConnectionClosed:
+                with self._connections_lock:
+                    self._connections.pop(envelope.dst, None)
+
+
+class TcpProvider:
+    """A provider process/thread executing Tasklets over TCP."""
+
+    def __init__(
+        self,
+        broker_host: str,
+        broker_port: int,
+        capacity: int = 2,
+        device_class: str = "host",
+        node_id: str | None = None,
+        benchmark_score: float | None = None,
+        heartbeat_interval: float = 1.0,
+        price: float = 0.0,
+    ):
+        self.node_id = NodeId(node_id or random_id("prov"))
+        self.capacity = capacity
+        self.device_class = device_class
+        self.heartbeat_interval = heartbeat_interval
+        self.price = price
+        self._given_score = benchmark_score
+        self._clock = WallClock()
+        self._executor = TaskletExecutor()
+        self._pool: ThreadPoolExecutor | None = None
+        self._connection: _Connection | None = None
+        self._running = threading.Event()
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._cancelled: set[str] = set()
+        self._broker = (broker_host, broker_port)
+
+    def start(self) -> "TcpProvider":
+        score = self._given_score
+        if score is None:
+            score = run_benchmark().score
+        self._connection = _connect(*self._broker)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.capacity, thread_name_prefix=f"{self.node_id}-exec"
+        )
+        self._running.set()
+        register = RegisterProvider(
+            provider_id=self.node_id,
+            device_class=self.device_class,
+            capacity=self.capacity,
+            benchmark_score=score,
+            price=self.price,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        self._send(register.envelope(self.node_id, BROKER_ADDRESS))
+        reader = threading.Thread(target=self._reader_loop, daemon=True)
+        heart = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        reader.start()
+        heart.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        try:
+            self._send(
+                Unregister(provider_id=self.node_id).envelope(
+                    self.node_id, BROKER_ADDRESS
+                )
+            )
+        except (ConnectionClosed, TransportError):
+            pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._connection is not None:
+            self._connection.close()
+
+    def __enter__(self) -> "TcpProvider":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ----------------------------------------------------------
+
+    def _send(self, envelope: Envelope) -> None:
+        if self._connection is None:
+            raise TransportError("provider not started")
+        self._connection.send(envelope)
+
+    def _reader_loop(self) -> None:
+        assert self._connection is not None
+        while self._running.is_set():
+            envelopes = self._connection.recv_envelopes()
+            if envelopes is None:
+                return
+            for envelope in envelopes:
+                body = body_of(envelope)
+                if isinstance(body, AssignExecution):
+                    assert self._pool is not None
+                    self._pool.submit(self._execute, body)
+                elif isinstance(body, CancelExecution):
+                    self._cancelled.add(body.execution_id)
+
+    def _heartbeat_loop(self) -> None:
+        while self._running.is_set():
+            threading.Event().wait(self.heartbeat_interval)
+            if not self._running.is_set():
+                return
+            with self._active_lock:
+                free = max(0, self.capacity - self._active)
+            heartbeat = Heartbeat(provider_id=self.node_id, free_slots=free)
+            try:
+                self._send(heartbeat.envelope(self.node_id, BROKER_ADDRESS))
+            except (ConnectionClosed, TransportError):
+                return
+
+    def _execute(self, request: AssignExecution) -> None:
+        if request.execution_id in self._cancelled:
+            self._cancelled.discard(request.execution_id)
+            return
+        with self._active_lock:
+            self._active += 1
+        started = self._clock.now()
+        try:
+            outcome = self._executor.execute(request)
+        finally:
+            with self._active_lock:
+                self._active -= 1
+        finished = self._clock.now()
+        if request.execution_id in self._cancelled:
+            self._cancelled.discard(request.execution_id)
+            return
+        result = ExecutionResult(
+            execution_id=request.execution_id,
+            tasklet_id=request.tasklet_id,
+            provider_id=self.node_id,
+            status=outcome.status.value,
+            value=outcome.value,
+            error=outcome.error,
+            instructions=outcome.instructions,
+            started_at=started,
+            finished_at=finished,
+        )
+        try:
+            self._send(result.envelope(self.node_id, BROKER_ADDRESS))
+        except (ConnectionClosed, TransportError):
+            pass  # broker gone; nothing sensible to do
+
+
+class TcpConsumer:
+    """Consumer session over TCP; plug into :class:`TaskletLibrary`."""
+
+    def __init__(
+        self,
+        broker_host: str,
+        broker_port: int,
+        node_id: str | None = None,
+        base_seed: int = 0,
+    ):
+        self.node_id = NodeId(node_id or random_id("cons"))
+        self._clock = WallClock()
+        self.core = ConsumerCore(node_id=self.node_id, clock=self._clock)
+        self.library = TaskletLibrary(session=self, base_seed=base_seed)
+        self._broker = (broker_host, broker_port)
+        self._connection: _Connection | None = None
+        self._running = threading.Event()
+
+    def start(self) -> "TcpConsumer":
+        self._connection = _connect(*self._broker)
+        self._running.set()
+        threading.Thread(target=self._reader_loop, daemon=True).start()
+        return self
+
+    def stop(self) -> None:
+        self._running.clear()
+        if self._connection is not None:
+            self._connection.close()
+
+    def __enter__(self) -> "TcpConsumer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- Session protocol ----------------------------------------------------
+
+    def submit_tasklet(self, tasklet: Tasklet) -> TaskletFuture:
+        if self._connection is None:
+            raise TransportError("consumer not started")
+        future, envelopes = self.core.submit(tasklet)
+        for envelope in envelopes:
+            self._connection.send(envelope)
+        return future
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    # -- internals ----------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        assert self._connection is not None
+        while self._running.is_set():
+            envelopes = self._connection.recv_envelopes()
+            if envelopes is None:
+                return
+            for envelope in envelopes:
+                self.core.handle(envelope)
+
+
+def _provider_process_main(
+    broker_host: str,
+    port: int,
+    capacity: int,
+    device_class: str,
+    node_id: str,
+    benchmark_score: float | None,
+    stop_event,
+) -> None:
+    provider = TcpProvider(
+        broker_host,
+        port,
+        capacity=capacity,
+        device_class=device_class,
+        node_id=node_id,
+        benchmark_score=benchmark_score,
+    )
+    provider.start()
+    stop_event.wait()
+    provider.stop()
+
+
+class ProviderProcess:
+    """A provider running in its own OS process (GIL-free parallelism)."""
+
+    def __init__(
+        self,
+        broker_host: str,
+        broker_port: int,
+        capacity: int = 1,
+        device_class: str = "host",
+        node_id: str | None = None,
+        benchmark_score: float | None = None,
+    ):
+        self.node_id = node_id or random_id("prov")
+        self._stop_event = multiprocessing.Event()
+        self._process = multiprocessing.Process(
+            target=_provider_process_main,
+            args=(
+                broker_host,
+                broker_port,
+                capacity,
+                device_class,
+                self.node_id,
+                benchmark_score,
+                self._stop_event,
+            ),
+            daemon=True,
+        )
+
+    def start(self) -> "ProviderProcess":
+        self._process.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+
+    def __enter__(self) -> "ProviderProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def spawn_provider_processes(
+    broker_host: str,
+    broker_port: int,
+    count: int,
+    capacity: int = 1,
+    benchmark_score: float | None = None,
+) -> list[ProviderProcess]:
+    """Start ``count`` single-capacity provider processes; caller stops them."""
+    processes = [
+        ProviderProcess(
+            broker_host,
+            broker_port,
+            capacity=capacity,
+            device_class="host",
+            node_id=f"prov-p{i}",
+            benchmark_score=benchmark_score,
+        )
+        for i in range(count)
+    ]
+    for process in processes:
+        process.start()
+    return processes

@@ -1,0 +1,232 @@
+"""Abstract syntax tree for the Tasklet language.
+
+Nodes are plain dataclasses.  Every node carries ``line``/``column`` so
+semantic analysis and compilation can report precise positions.  The
+semantic pass annotates expression nodes in-place with their resolved
+static type (``expr_type``) and name references with their storage slot
+(``slot``); the compiler then reads those annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .lang_types import LangType
+
+
+@dataclass
+class Node:
+    """Base class: source position shared by all nodes."""
+
+    line: int
+    column: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``expr_type`` is set by semantics."""
+
+    expr_type: Optional[LangType] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    """``[e1, e2, ...]`` — builds a fresh array from element expressions."""
+
+    elements: list[Expr]
+
+
+@dataclass
+class Name(Expr):
+    """A variable or parameter reference; ``slot`` resolved by semantics."""
+
+    identifier: str
+    slot: Optional[int] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class Unary(Expr):
+    """``-x`` or ``!x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic, comparison, or logical binary expression.
+
+    ``&&`` and ``||`` are represented here too; the compiler lowers them to
+    short-circuiting jumps.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Call of a user function or a builtin, resolved during semantics."""
+
+    callee: str
+    args: list[Expr]
+    is_builtin: bool = field(default=False, init=False, compare=False)
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — array element or string character access."""
+
+    base: Expr
+    index: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var name: type = init;`` — initialiser is mandatory."""
+
+    name: str
+    declared_type: LangType
+    init: Expr
+    slot: Optional[int] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = value;``"""
+
+    name: str
+    value: Expr
+    slot: Optional[int] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IndexAssign(Stmt):
+    """``base[index] = value;``"""
+
+    base: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (a call, usually)."""
+
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    """``{ ... }`` — introduces a lexical scope."""
+
+    statements: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Block
+    else_branch: Optional[Stmt]  # Block or another If (else-if chain)
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Block
+
+
+@dataclass
+class For(Stmt):
+    """C-style ``for (init; condition; step) body``.
+
+    ``init`` is a VarDecl or Assign (or None); ``step`` an Assign or
+    ExprStmt (or None).  Desugaring to While happens in the compiler, not
+    the parser, so error positions stay faithful.
+    """
+
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    declared_type: LangType
+
+
+@dataclass
+class FunctionDecl(Node):
+    """``func name(params) -> type { body }``"""
+
+    name: str
+    params: list[Param]
+    return_type: LangType
+    body: Block
+    n_locals: int = field(default=0, init=False, compare=False)
+
+
+@dataclass
+class Program(Node):
+    """A full compilation unit: one or more function declarations."""
+
+    functions: list[FunctionDecl]

@@ -1,0 +1,268 @@
+"""Builtin functions of the Tasklet Virtual Machine.
+
+Builtins are the only bridge between Tasklet code and the host: pure math,
+array/string manipulation, conversions, and a *seeded* random source.  A
+Tasklet cannot touch files, sockets, the clock, or the host process — that
+closed world is what makes Tasklets safe to run on strangers' devices and
+makes redundant executions bit-identical (the RNG seed travels with the
+execution request, so replicas draw the same numbers).
+
+Each builtin declares a static signature used by semantic analysis and an
+implementation invoked by the VM.  ``result_type`` is a function of the
+argument types so that e.g. ``min(int, int) -> int`` but
+``min(int, float) -> float``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..common.errors import VMError, VMTypeError
+from .lang_types import LangType, is_numeric
+
+#: Hard cap on ``array(n)`` allocations; prevents a 3-instruction Tasklet
+#: from exhausting provider memory before fuel metering can react.
+MAX_ALLOC_ELEMENTS = 16_000_000
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Static + dynamic description of one builtin."""
+
+    name: str
+    min_arity: int
+    max_arity: int
+    #: Given the static argument types, return the result type or raise a
+    #: string describing the mismatch (semantics converts it to an error).
+    result_type: Callable[[Sequence[LangType]], LangType]
+    #: Runtime implementation: (rng, args) -> value.  ``rng`` is the
+    #: execution's seeded generator (only ``rand``/``rand_int`` use it).
+    impl: Callable
+
+
+class _SignatureError(Exception):
+    """Raised by ``result_type`` checkers on a static type mismatch."""
+
+
+def _require_numeric(args: Sequence[LangType], name: str) -> None:
+    for arg in args:
+        if not is_numeric(arg):
+            raise _SignatureError(f"{name}() expects numeric arguments, got {arg}")
+
+
+def _numeric_join(args: Sequence[LangType], name: str) -> LangType:
+    _require_numeric(args, name)
+    if LangType.FLOAT in args:
+        return LangType.FLOAT
+    return LangType.INT
+
+
+def _always(result: LangType) -> Callable[[Sequence[LangType]], LangType]:
+    def check(args: Sequence[LangType]) -> LangType:
+        return result
+
+    return check
+
+
+def _float_fn(args: Sequence[LangType]) -> LangType:
+    _require_numeric(args, "math builtin")
+    return LangType.FLOAT
+
+
+def _int_fn(args: Sequence[LangType]) -> LangType:
+    _require_numeric(args, "math builtin")
+    return LangType.INT
+
+
+def _len_type(args: Sequence[LangType]) -> LangType:
+    if args[0] not in (LangType.ARRAY, LangType.STRING, LangType.ANY):
+        raise _SignatureError(f"len() expects array or string, got {args[0]}")
+    return LangType.INT
+
+
+def _push_type(args: Sequence[LangType]) -> LangType:
+    if args[0] not in (LangType.ARRAY, LangType.ANY):
+        raise _SignatureError(f"push() expects an array first argument, got {args[0]}")
+    return LangType.INT
+
+
+def _array_type(args: Sequence[LangType]) -> LangType:
+    if args[0] not in (LangType.INT, LangType.ANY):
+        raise _SignatureError(f"array() expects an int size, got {args[0]}")
+    return LangType.ARRAY
+
+
+def _substr_type(args: Sequence[LangType]) -> LangType:
+    if args[0] not in (LangType.STRING, LangType.ANY):
+        raise _SignatureError(f"substr() expects a string, got {args[0]}")
+    if args[1] not in (LangType.INT, LangType.ANY) or args[2] not in (LangType.INT, LangType.ANY):
+        raise _SignatureError("substr() bounds must be int")
+    return LangType.STRING
+
+
+# -- runtime implementations -------------------------------------------------
+
+
+def _impl_array(rng, args):
+    size = args[0]
+    fill = args[1] if len(args) > 1 else 0
+    if size < 0:
+        raise VMError(f"array() size must be non-negative, got {size}")
+    if size > MAX_ALLOC_ELEMENTS:
+        raise VMError(f"array() size {size} exceeds allocation cap")
+    return [fill] * size
+
+
+def _impl_push(rng, args):
+    target, value = args
+    target.append(value)
+    return len(target)
+
+
+def _impl_pop(rng, args):
+    (target,) = args
+    if not target:
+        raise VMError("pop() from empty array")
+    return target.pop()
+
+
+def _impl_log(rng, args):
+    value = args[0]
+    if value <= 0:
+        raise VMError(f"log() domain error: {value}")
+    return math.log(value)
+
+
+def _impl_sqrt(rng, args):
+    value = args[0]
+    if value < 0:
+        raise VMError(f"sqrt() domain error: {value}")
+    return math.sqrt(value)
+
+
+def _impl_int(rng, args):
+    value = args[0]
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError as exc:
+            raise VMError(f"int() cannot parse {value!r}") from exc
+    raise VMTypeError(f"int() cannot convert {type(value).__name__}")
+
+
+def _impl_float(rng, args):
+    value = args[0]
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError as exc:
+            raise VMError(f"float() cannot parse {value!r}") from exc
+    raise VMTypeError(f"float() cannot convert {type(value).__name__}")
+
+
+def _impl_str(rng, args):
+    value = args[0]
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _impl_rand(rng, args):
+    return rng.random()
+
+
+def _impl_rand_int(rng, args):
+    low, high = args
+    if low > high:
+        raise VMError(f"rand_int() empty range [{low}, {high}]")
+    return rng.randrange(low, high + 1)
+
+
+def _impl_substr(rng, args):
+    text, start, end = args
+    if start < 0 or end > len(text) or start > end:
+        raise VMError(f"substr() bounds [{start}, {end}) invalid for length {len(text)}")
+    return text[start:end]
+
+
+def _conv_type(expected: str):
+    def check(args: Sequence[LangType]) -> LangType:
+        return {"int": LangType.INT, "float": LangType.FLOAT, "str": LangType.STRING}[
+            expected
+        ]
+
+    return check
+
+
+#: The builtin registry, keyed by source-level name.  Indices into
+#: ``BUILTIN_ORDER`` are what the bytecode's ``CALL_BUILTIN`` references,
+#: so the order below is part of the wire format: append only.
+BUILTINS: dict[str, BuiltinSpec] = {}
+BUILTIN_ORDER: list[str] = []
+
+
+def _register(spec: BuiltinSpec) -> None:
+    BUILTINS[spec.name] = spec
+    BUILTIN_ORDER.append(spec.name)
+
+
+_register(BuiltinSpec("abs", 1, 1, lambda a: _numeric_join(a, "abs"), lambda r, a: abs(a[0])))
+_register(BuiltinSpec("min", 2, 2, lambda a: _numeric_join(a, "min"), lambda r, a: min(a)))
+_register(BuiltinSpec("max", 2, 2, lambda a: _numeric_join(a, "max"), lambda r, a: max(a)))
+_register(BuiltinSpec("sqrt", 1, 1, _float_fn, _impl_sqrt))
+_register(BuiltinSpec("pow", 2, 2, _float_fn, lambda r, a: math.pow(a[0], a[1])))
+_register(BuiltinSpec("sin", 1, 1, _float_fn, lambda r, a: math.sin(a[0])))
+_register(BuiltinSpec("cos", 1, 1, _float_fn, lambda r, a: math.cos(a[0])))
+_register(BuiltinSpec("tan", 1, 1, _float_fn, lambda r, a: math.tan(a[0])))
+_register(BuiltinSpec("exp", 1, 1, _float_fn, lambda r, a: math.exp(a[0])))
+_register(BuiltinSpec("log", 1, 1, _float_fn, _impl_log))
+_register(BuiltinSpec("floor", 1, 1, _int_fn, lambda r, a: math.floor(a[0])))
+_register(BuiltinSpec("ceil", 1, 1, _int_fn, lambda r, a: math.ceil(a[0])))
+_register(BuiltinSpec("len", 1, 1, _len_type, lambda r, a: len(a[0])))
+_register(BuiltinSpec("push", 2, 2, _push_type, _impl_push))
+_register(BuiltinSpec("pop", 1, 1, lambda a: LangType.ANY, _impl_pop))
+_register(BuiltinSpec("array", 1, 2, _array_type, _impl_array))
+_register(BuiltinSpec("int", 1, 1, _conv_type("int"), _impl_int))
+_register(BuiltinSpec("float", 1, 1, _conv_type("float"), _impl_float))
+_register(BuiltinSpec("str", 1, 1, _conv_type("str"), _impl_str))
+_register(BuiltinSpec("rand", 0, 0, _always(LangType.FLOAT), _impl_rand))
+_register(BuiltinSpec("rand_int", 2, 2, _int_fn, _impl_rand_int))
+_register(BuiltinSpec("substr", 3, 3, _substr_type, _impl_substr))
+
+#: Note on ``pop``: the static result type is ANY because arrays are
+#: dynamically typed — the checker cannot know the element type.  The VM
+#: returns whatever was stored; use conversions when the static type
+#: matters.
+
+
+def check_builtin_call(name: str, arg_types: Sequence[LangType]) -> LangType | str:
+    """Validate a builtin call statically.
+
+    Returns the result :class:`LangType` on success, or an error message
+    string on failure (the caller owns positions, so it formats the error).
+    """
+    spec = BUILTINS.get(name)
+    if spec is None:
+        return f"unknown function {name!r}"
+    if not spec.min_arity <= len(arg_types) <= spec.max_arity:
+        if spec.min_arity == spec.max_arity:
+            expected = str(spec.min_arity)
+        else:
+            expected = f"{spec.min_arity}..{spec.max_arity}"
+        return f"{name}() expects {expected} arguments, got {len(arg_types)}"
+    try:
+        return spec.result_type(arg_types)
+    except _SignatureError as exc:
+        return str(exc)

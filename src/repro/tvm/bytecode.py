@@ -1,0 +1,261 @@
+"""Portable bytecode container for compiled Tasklet programs.
+
+A :class:`CompiledProgram` is the unit shipped from consumers to providers:
+a constant pool plus a list of functions, each with its instruction list.
+It serialises to the middleware's JSON wire format (``to_dict`` /
+``from_dict``) and can be structurally verified before execution so that a
+malicious or corrupted program fails fast instead of crashing the VM
+mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..common.errors import VMInvalidProgram
+from .builtins import BUILTIN_ORDER, BUILTINS
+from .opcodes import JUMP_OPS, NO_OPERAND_OPS, Op
+
+#: Bytecode format version, embedded in every serialised program.
+BYTECODE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ``(opcode, operand)`` pair."""
+
+    op: Op
+    operand: int | None = None
+
+    def to_pair(self) -> list[int]:
+        """Compact list form used on the wire (operand ``-1`` = none)."""
+        return [int(self.op), -1 if self.operand is None else self.operand]
+
+    @classmethod
+    def from_pair(cls, pair: list[int]) -> "Instruction":
+        if len(pair) != 2:
+            raise VMInvalidProgram(f"malformed instruction {pair!r}")
+        try:
+            op = Op(pair[0])
+        except ValueError as exc:
+            raise VMInvalidProgram(f"unknown opcode {pair[0]}") from exc
+        operand = None if pair[1] == -1 else int(pair[1])
+        return cls(op, operand)
+
+
+@dataclass
+class FunctionCode:
+    """Compiled body of one Tasklet function."""
+
+    name: str
+    n_params: int
+    n_locals: int  # including parameters
+    returns_value: bool
+    code: list[Instruction] = field(default_factory=list)
+    _pairs: list[tuple[int, int | None]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def pairs(self) -> list[tuple[int, int | None]]:
+        """The body as plain ``(int opcode, operand)`` tuples.
+
+        Computed lazily and cached: this is the representation the VM's
+        hot loop dispatches on (integer compares beat enum identity by a
+        large factor on CPython).  ``code`` must not be mutated after the
+        first execution.
+        """
+        if self._pairs is None:
+            self._pairs = [
+                (int(instruction.op), instruction.operand)
+                for instruction in self.code
+            ]
+        return self._pairs
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "n_params": self.n_params,
+            "n_locals": self.n_locals,
+            "returns_value": self.returns_value,
+            "code": [instruction.to_pair() for instruction in self.code],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FunctionCode":
+        try:
+            return cls(
+                name=str(data["name"]),
+                n_params=int(data["n_params"]),
+                n_locals=int(data["n_locals"]),
+                returns_value=bool(data["returns_value"]),
+                code=[Instruction.from_pair(pair) for pair in data["code"]],
+            )
+        except (KeyError, TypeError) as exc:
+            raise VMInvalidProgram(f"malformed function record: {exc}") from exc
+
+
+@dataclass
+class CompiledProgram:
+    """A verified-serialisable compiled Tasklet program."""
+
+    functions: list[FunctionCode]
+    constants: list[Any]
+    source: str | None = None  # original source, kept for debugging only
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, int] = {
+            function.name: position for position, function in enumerate(self.functions)
+        }
+        self._fingerprint: str | None = None
+
+    # -- lookup ----------------------------------------------------------------
+
+    def function_index(self, name: str) -> int:
+        """Index of function ``name``; raises if absent."""
+        if name not in self._index:
+            raise VMInvalidProgram(f"program has no function {name!r}")
+        return self._index[name]
+
+    def function(self, name: str) -> FunctionCode:
+        """The :class:`FunctionCode` for ``name``."""
+        return self.functions[self.function_index(name)]
+
+    def has_function(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def function_names(self) -> list[str]:
+        return [function.name for function in self.functions]
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self, include_source: bool = False) -> dict[str, Any]:
+        """Wire representation.  Source is omitted by default (it is large
+        and providers never need it)."""
+        payload: dict[str, Any] = {
+            "version": BYTECODE_VERSION,
+            "functions": [function.to_dict() for function in self.functions],
+            "constants": list(self.constants),
+        }
+        if include_source and self.source is not None:
+            payload["source"] = self.source
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CompiledProgram":
+        version = data.get("version")
+        if version != BYTECODE_VERSION:
+            raise VMInvalidProgram(f"unsupported bytecode version {version!r}")
+        try:
+            functions = [FunctionCode.from_dict(record) for record in data["functions"]]
+            constants = list(data["constants"])
+        except (KeyError, TypeError) as exc:
+            raise VMInvalidProgram(f"malformed program record: {exc}") from exc
+        return cls(functions=functions, constants=constants, source=data.get("source"))
+
+    def fingerprint(self) -> str:
+        """Stable content hash, used for provider-side program caching.
+
+        Memoised: consumers stamp it on every assignment of a program, so
+        recomputing the canonical JSON each time would defeat the point of
+        the provider cache (see :mod:`repro.provider.executor`).
+        """
+        if self._fingerprint is None:
+            canonical = json.dumps(
+                self.to_dict(include_source=False),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            self._fingerprint = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return self._fingerprint
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self) -> None:
+        """Structural validation; raises :class:`VMInvalidProgram` on defects.
+
+        Checks: operand presence matches the opcode, constant/slot/function/
+        builtin indices are in range, jump targets land inside the function,
+        and every function body ends with an unconditional exit (``RET`` or
+        a backwards ``JUMP``) so the VM can never fall off the end.
+        """
+        if not self.functions:
+            raise VMInvalidProgram("program has no functions")
+        if len(self._index) != len(self.functions):
+            raise VMInvalidProgram("duplicate function names")
+        for function in self.functions:
+            self._verify_function(function)
+
+    def _verify_function(self, function: FunctionCode) -> None:
+        if function.n_params < 0 or function.n_locals < function.n_params:
+            raise VMInvalidProgram(
+                f"{function.name}: inconsistent locals "
+                f"({function.n_params} params, {function.n_locals} locals)"
+            )
+        code = function.code
+        if not code:
+            raise VMInvalidProgram(f"{function.name}: empty body")
+        for position, instruction in enumerate(code):
+            op, operand = instruction.op, instruction.operand
+            if op in NO_OPERAND_OPS:
+                if operand is not None:
+                    raise VMInvalidProgram(
+                        f"{function.name}@{position}: {op.name} takes no operand"
+                    )
+                continue
+            if operand is None:
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: {op.name} requires an operand"
+                )
+            if op is Op.PUSH_CONST and not 0 <= operand < len(self.constants):
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: constant index {operand} out of range"
+                )
+            if op in (Op.LOAD, Op.STORE) and not 0 <= operand < function.n_locals:
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: slot {operand} out of range"
+                )
+            if op in JUMP_OPS and not 0 <= operand < len(code):
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: jump target {operand} out of range"
+                )
+            if op is Op.CALL and not 0 <= operand < len(self.functions):
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: function index {operand} out of range"
+                )
+            if op is Op.CALL_BUILTIN:
+                # operand encodes index*8 + arity (see compiler._compile_call).
+                index, arity = divmod(operand, 8)
+                if not 0 <= index < len(BUILTIN_ORDER):
+                    raise VMInvalidProgram(
+                        f"{function.name}@{position}: builtin index {index} out of range"
+                    )
+                spec = BUILTINS[BUILTIN_ORDER[index]]
+                if not spec.min_arity <= arity <= spec.max_arity:
+                    raise VMInvalidProgram(
+                        f"{function.name}@{position}: {spec.name} called "
+                        f"with arity {arity}"
+                    )
+            if op is Op.BUILD_ARRAY and operand < 0:
+                raise VMInvalidProgram(
+                    f"{function.name}@{position}: negative array size"
+                )
+        last = code[-1]
+        ends_ok = last.op is Op.RET or (
+            last.op is Op.JUMP and last.operand is not None and last.operand < len(code) - 1
+        )
+        if not ends_ok:
+            raise VMInvalidProgram(
+                f"{function.name}: body does not end with RET or a backward jump"
+            )
+
+
+def builtin_index(name: str) -> int:
+    """Stable wire index of a builtin, for ``CALL_BUILTIN`` operands."""
+    if name not in BUILTINS:
+        raise VMInvalidProgram(f"unknown builtin {name!r}")
+    return BUILTIN_ORDER.index(name)

@@ -1,0 +1,61 @@
+"""Static types of the Tasklet language.
+
+The type system is deliberately small: five concrete value types plus
+``void`` for functions without a return value, and an internal ``any``
+type.  ``array`` is a dynamic array of arbitrary Tasklet values, so an
+indexing expression ``a[i]`` has static type ``any``: it is accepted
+wherever a value is expected and re-checked at runtime by the VM.  ``any``
+cannot be written in source programs — it only arises from inference.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LangType(enum.Enum):
+    """A Tasklet language type."""
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STRING = "string"
+    ARRAY = "array"
+    VOID = "void"
+    ANY = "any"  # internal: result of array indexing / pop()
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Statically numeric types (``any`` is *potentially* numeric).
+NUMERIC_TYPES = {LangType.INT, LangType.FLOAT}
+
+
+def is_numeric(lang_type: LangType) -> bool:
+    """Whether a value of this static type may appear in arithmetic."""
+    return lang_type in NUMERIC_TYPES or lang_type is LangType.ANY
+
+
+def is_assignable(target: LangType, source: LangType) -> bool:
+    """Whether a ``source``-typed expression may initialise/assign ``target``.
+
+    The only implicit conversion is the C-like widening ``int -> float``.
+    ``any`` is assignable both ways (runtime-checked).
+    """
+    if target is source:
+        return True
+    if LangType.ANY in (target, source):
+        return target is not LangType.VOID and source is not LangType.VOID
+    return target is LangType.FLOAT and source is LangType.INT
+
+
+def unify_numeric(left: LangType, right: LangType) -> LangType | None:
+    """Result type of an arithmetic op, or ``None`` if the pair is invalid."""
+    if not is_numeric(left) or not is_numeric(right):
+        return None
+    if LangType.ANY in (left, right):
+        return LangType.ANY
+    if LangType.FLOAT in (left, right):
+        return LangType.FLOAT
+    return LangType.INT

@@ -1,0 +1,198 @@
+"""Hand-written lexer for the Tasklet language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+integer and float literals (with exponents), double-quoted strings with the
+usual escapes, identifiers/keywords, and the operator set listed in
+:mod:`repro.tvm.tokens`.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import LexerError
+from .tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR_OPERATORS = {
+    "+=": TokenType.PLUS_ASSIGN,
+    "-=": TokenType.MINUS_ASSIGN,
+    "*=": TokenType.STAR_ASSIGN,
+    "/=": TokenType.SLASH_ASSIGN,
+    "%=": TokenType.PERCENT_ASSIGN,
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+    "->": TokenType.ARROW,
+}
+
+_ONE_CHAR_OPERATORS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.ASSIGN,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+
+
+class Lexer:
+    """Single-pass lexer; call :meth:`tokenize` once per source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, line=self.line, column=self.column)
+
+    # -- token producers ----------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole source, returning tokens terminated by ``EOF``."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenType.EOF, "", None, self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexerError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_identifier(line, column)
+        if char == '"':
+            return self._lex_string(line, column)
+        two = char + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPERATORS[two], two, None, line, column)
+        if char in _ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(_ONE_CHAR_OPERATORS[char], char, None, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            probe = 1
+            if self._peek(1) in "+-":
+                probe = 2
+            if self._peek(probe).isdigit():
+                is_float = True
+                for _ in range(probe):
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        text = self.source[start : self.pos]
+        if is_float:
+            return Token(TokenType.FLOAT, text, float(text), line, column)
+        return Token(TokenType.INT, text, int(text), line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        if token_type is TokenType.TRUE:
+            return Token(token_type, text, True, line, column)
+        if token_type is TokenType.FALSE:
+            return Token(token_type, text, False, line, column)
+        return Token(token_type, text, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexerError("unterminated string literal", line, column)
+            char = self._advance()
+            if char == '"':
+                break
+            if char == "\n":
+                raise LexerError("newline inside string literal", line, column)
+            if char == "\\":
+                escape = self._advance() if self.pos < len(self.source) else ""
+                if escape not in _ESCAPES:
+                    raise self._error(f"bad escape sequence \\{escape}")
+                chars.append(_ESCAPES[escape])
+            else:
+                chars.append(char)
+        value = "".join(chars)
+        return Token(TokenType.STRING, f'"{value}"', value, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` in one call."""
+    return Lexer(source).tokenize()

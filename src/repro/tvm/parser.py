@@ -1,0 +1,468 @@
+"""Recursive-descent parser for the Tasklet language.
+
+Grammar (EBNF, terminals quoted)::
+
+    program     = { function } EOF ;
+    function    = "func" IDENT "(" [ params ] ")" [ "->" type ] block ;
+    params      = param { "," param } ;
+    param       = IDENT ":" type ;
+    type        = "int" | "float" | "bool" | "string" | "array" | "void" ;
+    block       = "{" { statement } "}" ;
+    statement   = var_decl | if_stmt | while_stmt | for_stmt | return_stmt
+                | break_stmt | continue_stmt | block | simple_stmt ";" ;
+    var_decl    = "var" IDENT ":" type "=" expression ";" ;
+    simple_stmt = assignment | expression ;
+    assignment  = (IDENT | postfix "[" expression "]") "=" expression ;
+    if_stmt     = "if" "(" expression ")" block [ "else" (if_stmt | block) ] ;
+    while_stmt  = "while" "(" expression ")" block ;
+    for_stmt    = "for" "(" [for_init] ";" [expression] ";" [for_step] ")" block ;
+    return_stmt = "return" [ expression ] ";" ;
+    expression  = or_expr ;  (precedence: || < && < == != < < <= > >= < + - < * / % < unary < postfix)
+    postfix     = primary { "(" args ")" | "[" expression "]" } ;
+    primary     = literal | IDENT | "(" expression ")" | "[" args "]" ;
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ParserError
+from . import ast_nodes as ast
+from .lang_types import LangType
+from .lexer import tokenize
+from .tokens import TYPE_TOKENS, Token, TokenType
+
+_TYPE_BY_TOKEN = {
+    TokenType.T_INT: LangType.INT,
+    TokenType.T_FLOAT: LangType.FLOAT,
+    TokenType.T_BOOL: LangType.BOOL,
+    TokenType.T_STRING: LangType.STRING,
+    TokenType.T_ARRAY: LangType.ARRAY,
+    TokenType.T_VOID: LangType.VOID,
+}
+
+# Binary operator precedence tiers, lowest binding first.
+_PRECEDENCE: list[set[TokenType]] = [
+    {TokenType.OR},
+    {TokenType.AND},
+    {TokenType.EQ, TokenType.NE},
+    {TokenType.LT, TokenType.LE, TokenType.GT, TokenType.GE},
+    {TokenType.PLUS, TokenType.MINUS},
+    {TokenType.STAR, TokenType.SLASH, TokenType.PERCENT},
+]
+
+_OP_TEXT = {
+    TokenType.OR: "||",
+    TokenType.AND: "&&",
+    TokenType.EQ: "==",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+    TokenType.PLUS: "+",
+    TokenType.MINUS: "-",
+    TokenType.STAR: "*",
+    TokenType.SLASH: "/",
+    TokenType.PERCENT: "%",
+}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token stream helpers -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, token_type: TokenType) -> Token | None:
+        if self._check(token_type):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParserError(
+                f"expected {what}, found {token.text or token.type.name!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParserError:
+        token = self._peek()
+        return ParserError(message, line=token.line, column=token.column)
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse a full compilation unit."""
+        first = self._peek()
+        functions: list[ast.FunctionDecl] = []
+        while not self._check(TokenType.EOF):
+            functions.append(self._parse_function())
+        if not functions:
+            raise ParserError("empty program: at least one function is required", 1, 1)
+        return ast.Program(line=first.line, column=first.column, functions=functions)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        keyword = self._expect(TokenType.FUNC, "'func'")
+        name = self._expect(TokenType.IDENT, "function name")
+        self._expect(TokenType.LPAREN, "'('")
+        params: list[ast.Param] = []
+        if not self._check(TokenType.RPAREN):
+            params.append(self._parse_param())
+            while self._match(TokenType.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenType.RPAREN, "')'")
+        return_type = LangType.VOID
+        if self._match(TokenType.ARROW):
+            return_type = self._parse_type()
+        body = self._parse_block()
+        return ast.FunctionDecl(
+            line=keyword.line,
+            column=keyword.column,
+            name=name.value,
+            params=params,
+            return_type=return_type,
+            body=body,
+        )
+
+    def _parse_param(self) -> ast.Param:
+        name = self._expect(TokenType.IDENT, "parameter name")
+        self._expect(TokenType.COLON, "':' after parameter name")
+        param_type = self._parse_type()
+        if param_type is LangType.VOID:
+            raise ParserError(
+                "parameters cannot have type 'void'", name.line, name.column
+            )
+        return ast.Param(
+            line=name.line, column=name.column, name=name.value, declared_type=param_type
+        )
+
+    def _parse_type(self) -> LangType:
+        token = self._peek()
+        if token.type not in TYPE_TOKENS:
+            raise self._error(f"expected a type name, found {token.text!r}")
+        self._advance()
+        return _TYPE_BY_TOKEN[token.type]
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        brace = self._expect(TokenType.LBRACE, "'{'")
+        statements: list[ast.Stmt] = []
+        while not self._check(TokenType.RBRACE):
+            if self._check(TokenType.EOF):
+                raise self._error("unterminated block: missing '}'")
+            statements.append(self._parse_statement())
+        self._expect(TokenType.RBRACE, "'}'")
+        return ast.Block(line=brace.line, column=brace.column, statements=statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.type is TokenType.VAR:
+            decl = self._parse_var_decl()
+            self._expect(TokenType.SEMICOLON, "';' after declaration")
+            return decl
+        if token.type is TokenType.IF:
+            return self._parse_if()
+        if token.type is TokenType.WHILE:
+            return self._parse_while()
+        if token.type is TokenType.FOR:
+            return self._parse_for()
+        if token.type is TokenType.RETURN:
+            self._advance()
+            value = None
+            if not self._check(TokenType.SEMICOLON):
+                value = self._parse_expression()
+            self._expect(TokenType.SEMICOLON, "';' after return")
+            return ast.Return(line=token.line, column=token.column, value=value)
+        if token.type is TokenType.BREAK:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "';' after break")
+            return ast.Break(line=token.line, column=token.column)
+        if token.type is TokenType.CONTINUE:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "';' after continue")
+            return ast.Continue(line=token.line, column=token.column)
+        if token.type is TokenType.LBRACE:
+            return self._parse_block()
+        statement = self._parse_simple_statement()
+        self._expect(TokenType.SEMICOLON, "';' after statement")
+        return statement
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        keyword = self._expect(TokenType.VAR, "'var'")
+        name = self._expect(TokenType.IDENT, "variable name")
+        self._expect(TokenType.COLON, "':' after variable name")
+        declared = self._parse_type()
+        if declared is LangType.VOID:
+            raise ParserError(
+                "variables cannot have type 'void'", name.line, name.column
+            )
+        self._expect(TokenType.ASSIGN, "'=' (variables must be initialised)")
+        init = self._parse_expression()
+        return ast.VarDecl(
+            line=keyword.line,
+            column=keyword.column,
+            name=name.value,
+            declared_type=declared,
+            init=init,
+        )
+
+    _COMPOUND_ASSIGN = {
+        TokenType.PLUS_ASSIGN: "+",
+        TokenType.MINUS_ASSIGN: "-",
+        TokenType.STAR_ASSIGN: "*",
+        TokenType.SLASH_ASSIGN: "/",
+        TokenType.PERCENT_ASSIGN: "%",
+    }
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment or bare expression (without the trailing semicolon)."""
+        expr = self._parse_expression()
+        compound = self._peek().type
+        if compound in self._COMPOUND_ASSIGN:
+            # `x += e` desugars to `x = x + (e)`.  Restricted to simple
+            # names: for an indexed target the desugaring would evaluate
+            # the base and index twice, which is observable.
+            op_token = self._advance()
+            if not isinstance(expr, ast.Name):
+                raise ParserError(
+                    "compound assignment targets must be simple variables",
+                    line=expr.line,
+                    column=expr.column,
+                )
+            value = self._parse_expression()
+            combined = ast.Binary(
+                line=op_token.line,
+                column=op_token.column,
+                op=self._COMPOUND_ASSIGN[compound],
+                left=ast.Name(
+                    line=expr.line, column=expr.column, identifier=expr.identifier
+                ),
+                right=value,
+            )
+            return ast.Assign(
+                line=expr.line,
+                column=expr.column,
+                name=expr.identifier,
+                value=combined,
+            )
+        if self._match(TokenType.ASSIGN):
+            value = self._parse_expression()
+            if isinstance(expr, ast.Name):
+                assign = ast.Assign(
+                    line=expr.line, column=expr.column, name=expr.identifier, value=value
+                )
+                return assign
+            if isinstance(expr, ast.Index):
+                return ast.IndexAssign(
+                    line=expr.line,
+                    column=expr.column,
+                    base=expr.base,
+                    index=expr.index,
+                    value=value,
+                )
+            raise ParserError(
+                "invalid assignment target", line=expr.line, column=expr.column
+            )
+        return ast.ExprStmt(line=expr.line, column=expr.column, expr=expr)
+
+    def _parse_if(self) -> ast.If:
+        keyword = self._expect(TokenType.IF, "'if'")
+        self._expect(TokenType.LPAREN, "'(' after if")
+        condition = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')' after condition")
+        then_branch = self._parse_block()
+        else_branch: ast.Stmt | None = None
+        if self._match(TokenType.ELSE):
+            if self._check(TokenType.IF):
+                else_branch = self._parse_if()
+            else:
+                else_branch = self._parse_block()
+        return ast.If(
+            line=keyword.line,
+            column=keyword.column,
+            condition=condition,
+            then_branch=then_branch,
+            else_branch=else_branch,
+        )
+
+    def _parse_while(self) -> ast.While:
+        keyword = self._expect(TokenType.WHILE, "'while'")
+        self._expect(TokenType.LPAREN, "'(' after while")
+        condition = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')' after condition")
+        body = self._parse_block()
+        return ast.While(
+            line=keyword.line, column=keyword.column, condition=condition, body=body
+        )
+
+    def _parse_for(self) -> ast.For:
+        keyword = self._expect(TokenType.FOR, "'for'")
+        self._expect(TokenType.LPAREN, "'(' after for")
+        init: ast.Stmt | None = None
+        if not self._check(TokenType.SEMICOLON):
+            if self._check(TokenType.VAR):
+                init = self._parse_var_decl()
+            else:
+                init = self._parse_simple_statement()
+        self._expect(TokenType.SEMICOLON, "';' after for-init")
+        condition: ast.Expr | None = None
+        if not self._check(TokenType.SEMICOLON):
+            condition = self._parse_expression()
+        self._expect(TokenType.SEMICOLON, "';' after for-condition")
+        step: ast.Stmt | None = None
+        if not self._check(TokenType.RPAREN):
+            step = self._parse_simple_statement()
+        self._expect(TokenType.RPAREN, "')' after for-step")
+        body = self._parse_block()
+        return ast.For(
+            line=keyword.line,
+            column=keyword.column,
+            init=init,
+            condition=condition,
+            step=step,
+            body=body,
+        )
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        while self._peek().type in _PRECEDENCE[tier]:
+            op_token = self._advance()
+            right = self._parse_binary(tier + 1)
+            left = ast.Binary(
+                line=op_token.line,
+                column=op_token.column,
+                op=_OP_TEXT[op_token.type],
+                left=left,
+                right=right,
+            )
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type in (TokenType.MINUS, TokenType.NOT):
+            self._advance()
+            operand = self._parse_unary()
+            op = "-" if token.type is TokenType.MINUS else "!"
+            return ast.Unary(line=token.line, column=token.column, op=op, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenType.LPAREN):
+                if not isinstance(expr, ast.Name):
+                    raise ParserError(
+                        "only named functions can be called",
+                        line=expr.line,
+                        column=expr.column,
+                    )
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(TokenType.RPAREN):
+                    args.append(self._parse_expression())
+                    while self._match(TokenType.COMMA):
+                        args.append(self._parse_expression())
+                self._expect(TokenType.RPAREN, "')' after arguments")
+                expr = ast.Call(
+                    line=expr.line, column=expr.column, callee=expr.identifier, args=args
+                )
+            elif self._check(TokenType.LBRACKET):
+                bracket = self._advance()
+                index = self._parse_expression()
+                self._expect(TokenType.RBRACKET, "']' after index")
+                expr = ast.Index(
+                    line=bracket.line, column=bracket.column, base=expr, index=index
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return ast.IntLiteral(line=token.line, column=token.column, value=token.value)
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.FloatLiteral(
+                line=token.line, column=token.column, value=token.value
+            )
+        if token.type in (TokenType.TRUE, TokenType.FALSE):
+            self._advance()
+            return ast.BoolLiteral(
+                line=token.line, column=token.column, value=token.value
+            )
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(
+                line=token.line, column=token.column, value=token.value
+            )
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return ast.Name(line=token.line, column=token.column, identifier=token.value)
+        if token.type is TokenType.T_ARRAY:
+            # `array(n)` builtin call: 'array' is a keyword, special-case it.
+            self._advance()
+            self._expect(TokenType.LPAREN, "'(' after array")
+            args = [self._parse_expression()]
+            while self._match(TokenType.COMMA):
+                args.append(self._parse_expression())
+            self._expect(TokenType.RPAREN, "')' after arguments")
+            return ast.Call(
+                line=token.line, column=token.column, callee="array", args=args
+            )
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')' to close parenthesis")
+            return expr
+        if token.type is TokenType.LBRACKET:
+            self._advance()
+            elements: list[ast.Expr] = []
+            if not self._check(TokenType.RBRACKET):
+                elements.append(self._parse_expression())
+                while self._match(TokenType.COMMA):
+                    elements.append(self._parse_expression())
+            self._expect(TokenType.RBRACKET, "']' to close array literal")
+            return ast.ArrayLiteral(
+                line=token.line, column=token.column, elements=elements
+            )
+        # int(x) / float(x) / str via ident handled above; int/float are type
+        # keywords, so allow them as conversion calls here.
+        if token.type in (TokenType.T_INT, TokenType.T_FLOAT, TokenType.T_STRING):
+            self._advance()
+            self._expect(TokenType.LPAREN, f"'(' after {token.text}")
+            args = [self._parse_expression()]
+            self._expect(TokenType.RPAREN, "')' after argument")
+            callee = {"int": "int", "float": "float", "string": "str"}[token.text]
+            return ast.Call(line=token.line, column=token.column, callee=callee, args=args)
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Lex and parse Tasklet ``source`` into an AST."""
+    return Parser(tokenize(source)).parse_program()

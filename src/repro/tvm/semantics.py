@@ -1,0 +1,424 @@
+"""Semantic analysis for the Tasklet language.
+
+Responsibilities:
+
+* build the function table, rejecting duplicates and builtin shadowing;
+* resolve every name to a storage *slot* (parameters first, then locals in
+  declaration order — slots are function-local and never reused, which
+  keeps the compiler trivial at a negligible memory cost);
+* type-check every expression and statement, annotating AST nodes in place
+  (``expr_type`` on expressions, ``slot`` on names/declarations);
+* verify that non-void functions return on every control path;
+* verify ``break``/``continue`` appear only inside loops.
+
+The pass mutates the AST it is given and returns it, so callers can write
+``analyze(parse(src))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import SemanticError
+from . import ast_nodes as ast
+from .builtins import BUILTINS, check_builtin_call
+from .lang_types import LangType, is_assignable, is_numeric, unify_numeric
+
+_COMPARABLE = {LangType.INT, LangType.FLOAT, LangType.STRING, LangType.ANY}
+
+
+@dataclass
+class _Symbol:
+    name: str
+    lang_type: LangType
+    slot: int
+
+
+class _Scope:
+    """One lexical scope: a name→symbol map with a parent link."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, _Symbol] = {}
+
+    def declare(self, symbol: _Symbol) -> bool:
+        """Add a symbol; returns False if the name exists *in this scope*."""
+        if symbol.name in self.symbols:
+            return False
+        self.symbols[symbol.name] = symbol
+        return True
+
+    def resolve(self, name: str) -> _Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Runs semantic analysis over one :class:`~repro.tvm.ast_nodes.Program`."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions: dict[str, ast.FunctionDecl] = {}
+        # Per-function state:
+        self._current: ast.FunctionDecl | None = None
+        self._next_slot = 0
+        self._loop_depth = 0
+
+    # -- entry point ----------------------------------------------------------
+
+    def analyze(self) -> ast.Program:
+        """Run all checks; returns the annotated program or raises."""
+        for function in self.program.functions:
+            if function.name in BUILTINS:
+                raise SemanticError(
+                    f"function {function.name!r} shadows a builtin",
+                    function.line,
+                    function.column,
+                )
+            if function.name in self.functions:
+                raise SemanticError(
+                    f"duplicate function {function.name!r}",
+                    function.line,
+                    function.column,
+                )
+            self.functions[function.name] = function
+        for function in self.program.functions:
+            self._check_function(function)
+        return self.program
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, function: ast.FunctionDecl) -> None:
+        self._current = function
+        self._next_slot = 0
+        self._loop_depth = 0
+        scope = _Scope()
+        for param in function.params:
+            symbol = _Symbol(param.name, param.declared_type, self._next_slot)
+            if not scope.declare(symbol):
+                raise SemanticError(
+                    f"duplicate parameter {param.name!r}", param.line, param.column
+                )
+            self._next_slot += 1
+        self._check_block(function.body, _Scope(scope))
+        function.n_locals = self._next_slot
+        if function.return_type is not LangType.VOID:
+            if not self._definitely_returns(function.body):
+                raise SemanticError(
+                    f"function {function.name!r} must return "
+                    f"{function.return_type} on every path",
+                    function.line,
+                    function.column,
+                )
+
+    def _definitely_returns(self, statement: ast.Stmt) -> bool:
+        """Conservative all-paths-return analysis."""
+        if isinstance(statement, ast.Return):
+            return True
+        if isinstance(statement, ast.Block):
+            return any(self._definitely_returns(child) for child in statement.statements)
+        if isinstance(statement, ast.If):
+            if statement.else_branch is None:
+                return False
+            return self._definitely_returns(
+                statement.then_branch
+            ) and self._definitely_returns(statement.else_branch)
+        return False
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for statement in block.statements:
+            self._check_statement(statement, scope)
+
+    def _check_statement(self, statement: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(statement, ast.VarDecl):
+            self._check_var_decl(statement, scope)
+        elif isinstance(statement, ast.Assign):
+            self._check_assign(statement, scope)
+        elif isinstance(statement, ast.IndexAssign):
+            self._check_index_assign(statement, scope)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(statement.expr, scope)
+        elif isinstance(statement, ast.Block):
+            self._check_block(statement, _Scope(scope))
+        elif isinstance(statement, ast.If):
+            self._check_condition(statement.condition, scope)
+            self._check_block(statement.then_branch, _Scope(scope))
+            if statement.else_branch is not None:
+                self._check_statement(statement.else_branch, scope)
+        elif isinstance(statement, ast.While):
+            self._check_condition(statement.condition, scope)
+            self._loop_depth += 1
+            self._check_block(statement.body, _Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            header_scope = _Scope(scope)
+            if statement.init is not None:
+                self._check_statement(statement.init, header_scope)
+            if statement.condition is not None:
+                self._check_condition(statement.condition, header_scope)
+            self._loop_depth += 1
+            self._check_block(statement.body, _Scope(header_scope))
+            if statement.step is not None:
+                self._check_statement(statement.step, header_scope)
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.Return):
+            self._check_return(statement, scope)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(statement, ast.Break) else "continue"
+                raise SemanticError(
+                    f"{keyword!r} outside of a loop", statement.line, statement.column
+                )
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(
+                f"unhandled statement {type(statement).__name__}",
+                statement.line,
+                statement.column,
+            )
+
+    def _check_var_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        init_type = self._check_expr(decl.init, scope)
+        if not is_assignable(decl.declared_type, init_type):
+            raise SemanticError(
+                f"cannot initialise {decl.declared_type} variable "
+                f"{decl.name!r} with {init_type}",
+                decl.line,
+                decl.column,
+            )
+        symbol = _Symbol(decl.name, decl.declared_type, self._next_slot)
+        if not scope.declare(symbol):
+            raise SemanticError(
+                f"duplicate variable {decl.name!r} in this scope",
+                decl.line,
+                decl.column,
+            )
+        decl.slot = self._next_slot
+        self._next_slot += 1
+
+    def _check_assign(self, assign: ast.Assign, scope: _Scope) -> None:
+        symbol = scope.resolve(assign.name)
+        if symbol is None:
+            raise SemanticError(
+                f"assignment to undeclared variable {assign.name!r}",
+                assign.line,
+                assign.column,
+            )
+        value_type = self._check_expr(assign.value, scope)
+        if not is_assignable(symbol.lang_type, value_type):
+            raise SemanticError(
+                f"cannot assign {value_type} to {symbol.lang_type} "
+                f"variable {assign.name!r}",
+                assign.line,
+                assign.column,
+            )
+        assign.slot = symbol.slot
+
+    def _check_index_assign(self, assign: ast.IndexAssign, scope: _Scope) -> None:
+        base_type = self._check_expr(assign.base, scope)
+        if base_type not in (LangType.ARRAY, LangType.ANY):
+            raise SemanticError(
+                f"cannot index-assign into {base_type}", assign.line, assign.column
+            )
+        index_type = self._check_expr(assign.index, scope)
+        if index_type not in (LangType.INT, LangType.ANY):
+            raise SemanticError(
+                f"array index must be int, got {index_type}",
+                assign.line,
+                assign.column,
+            )
+        self._check_expr(assign.value, scope)
+
+    def _check_return(self, statement: ast.Return, scope: _Scope) -> None:
+        assert self._current is not None
+        expected = self._current.return_type
+        if statement.value is None:
+            if expected is not LangType.VOID:
+                raise SemanticError(
+                    f"function {self._current.name!r} must return {expected}",
+                    statement.line,
+                    statement.column,
+                )
+            return
+        if expected is LangType.VOID:
+            raise SemanticError(
+                f"void function {self._current.name!r} cannot return a value",
+                statement.line,
+                statement.column,
+            )
+        actual = self._check_expr(statement.value, scope)
+        if not is_assignable(expected, actual):
+            raise SemanticError(
+                f"return type mismatch in {self._current.name!r}: "
+                f"expected {expected}, got {actual}",
+                statement.line,
+                statement.column,
+            )
+
+    def _check_condition(self, condition: ast.Expr, scope: _Scope) -> None:
+        condition_type = self._check_expr(condition, scope)
+        if condition_type not in (LangType.BOOL, LangType.ANY):
+            raise SemanticError(
+                f"condition must be bool, got {condition_type}",
+                condition.line,
+                condition.column,
+            )
+
+    # -- expressions ----------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> LangType:
+        result = self._infer(expr, scope)
+        expr.expr_type = result
+        return result
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> LangType:
+        if isinstance(expr, ast.IntLiteral):
+            return LangType.INT
+        if isinstance(expr, ast.FloatLiteral):
+            return LangType.FLOAT
+        if isinstance(expr, ast.BoolLiteral):
+            return LangType.BOOL
+        if isinstance(expr, ast.StringLiteral):
+            return LangType.STRING
+        if isinstance(expr, ast.ArrayLiteral):
+            for element in expr.elements:
+                self._check_expr(element, scope)
+            return LangType.ARRAY
+        if isinstance(expr, ast.Name):
+            symbol = scope.resolve(expr.identifier)
+            if symbol is None:
+                raise SemanticError(
+                    f"undeclared variable {expr.identifier!r}", expr.line, expr.column
+                )
+            expr.slot = symbol.slot
+            return symbol.lang_type
+        if isinstance(expr, ast.Unary):
+            return self._infer_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._infer_index(expr, scope)
+        raise SemanticError(  # pragma: no cover - parser produces no other nodes
+            f"unhandled expression {type(expr).__name__}", expr.line, expr.column
+        )
+
+    def _infer_unary(self, expr: ast.Unary, scope: _Scope) -> LangType:
+        operand_type = self._check_expr(expr.operand, scope)
+        if expr.op == "-":
+            if not is_numeric(operand_type):
+                raise SemanticError(
+                    f"unary '-' needs a numeric operand, got {operand_type}",
+                    expr.line,
+                    expr.column,
+                )
+            return operand_type
+        # expr.op == "!"
+        if operand_type not in (LangType.BOOL, LangType.ANY):
+            raise SemanticError(
+                f"'!' needs a bool operand, got {operand_type}", expr.line, expr.column
+            )
+        return LangType.BOOL
+
+    def _infer_binary(self, expr: ast.Binary, scope: _Scope) -> LangType:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            for side, side_type in ((expr.left, left), (expr.right, right)):
+                if side_type not in (LangType.BOOL, LangType.ANY):
+                    raise SemanticError(
+                        f"{op!r} needs bool operands, got {side_type}",
+                        side.line,
+                        side.column,
+                    )
+            return LangType.BOOL
+        if op in ("==", "!="):
+            # Equality is defined between compatible types only.
+            if LangType.ANY in (left, right) or left is right or (
+                is_numeric(left) and is_numeric(right)
+            ):
+                return LangType.BOOL
+            raise SemanticError(
+                f"cannot compare {left} with {right}", expr.line, expr.column
+            )
+        if op in ("<", "<=", ">", ">="):
+            ok = (
+                LangType.ANY in (left, right)
+                or (is_numeric(left) and is_numeric(right))
+                or (left is LangType.STRING and right is LangType.STRING)
+            )
+            if not ok or left not in _COMPARABLE or right not in _COMPARABLE:
+                raise SemanticError(
+                    f"cannot order {left} and {right}", expr.line, expr.column
+                )
+            return LangType.BOOL
+        if op == "+":
+            # '+' also concatenates strings and arrays.
+            if left is LangType.STRING and right is LangType.STRING:
+                return LangType.STRING
+            if left is LangType.ARRAY and right is LangType.ARRAY:
+                return LangType.ARRAY
+            if LangType.ANY in (left, right) and not (
+                is_numeric(left) or is_numeric(right)
+            ):
+                return LangType.ANY
+        result = unify_numeric(left, right)
+        if result is None:
+            raise SemanticError(
+                f"operator {op!r} cannot combine {left} and {right}",
+                expr.line,
+                expr.column,
+            )
+        return result
+
+    def _infer_call(self, expr: ast.Call, scope: _Scope) -> LangType:
+        arg_types = [self._check_expr(arg, scope) for arg in expr.args]
+        function = self.functions.get(expr.callee)
+        if function is not None:
+            expr.is_builtin = False
+            if len(arg_types) != len(function.params):
+                raise SemanticError(
+                    f"{expr.callee}() expects {len(function.params)} "
+                    f"arguments, got {len(arg_types)}",
+                    expr.line,
+                    expr.column,
+                )
+            for param, arg_type, arg in zip(function.params, arg_types, expr.args):
+                if not is_assignable(param.declared_type, arg_type):
+                    raise SemanticError(
+                        f"argument {param.name!r} of {expr.callee}() expects "
+                        f"{param.declared_type}, got {arg_type}",
+                        arg.line,
+                        arg.column,
+                    )
+            return function.return_type
+        result = check_builtin_call(expr.callee, arg_types)
+        if isinstance(result, str):
+            raise SemanticError(result, expr.line, expr.column)
+        expr.is_builtin = True
+        return result
+
+    def _infer_index(self, expr: ast.Index, scope: _Scope) -> LangType:
+        base_type = self._check_expr(expr.base, scope)
+        index_type = self._check_expr(expr.index, scope)
+        if index_type not in (LangType.INT, LangType.ANY):
+            raise SemanticError(
+                f"index must be int, got {index_type}", expr.line, expr.column
+            )
+        if base_type is LangType.STRING:
+            return LangType.STRING  # single-character string, like s[i:i+1]
+        if base_type in (LangType.ARRAY, LangType.ANY):
+            return LangType.ANY
+        raise SemanticError(f"cannot index {base_type}", expr.line, expr.column)
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Run semantic analysis in one call."""
+    return Analyzer(program).analyze()

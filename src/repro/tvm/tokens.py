@@ -1,0 +1,125 @@
+"""Token definitions for the Tasklet language.
+
+The Tasklet language is a small C-like language; see ``docs`` in the README
+for a tour.  Tokens carry their source position so that every later stage
+(parser, semantic analysis) can produce errors that point at real code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    """All lexeme categories produced by the lexer."""
+
+    # Literals and names
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    IDENT = "IDENT"
+
+    # Keywords
+    FUNC = "func"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    TRUE = "true"
+    FALSE = "false"
+
+    # Type names (keywords as well)
+    T_INT = "int"
+    T_FLOAT = "float"
+    T_BOOL = "bool"
+    T_STRING = "string"
+    T_ARRAY = "array"
+    T_VOID = "void"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    ARROW = "->"
+
+    # Operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    EOF = "EOF"
+
+
+#: Reserved words, mapped to their token types.
+KEYWORDS: dict[str, TokenType] = {
+    "func": TokenType.FUNC,
+    "var": TokenType.VAR,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "int": TokenType.T_INT,
+    "float": TokenType.T_FLOAT,
+    "bool": TokenType.T_BOOL,
+    "string": TokenType.T_STRING,
+    "array": TokenType.T_ARRAY,
+    "void": TokenType.T_VOID,
+}
+
+#: Token types that name a language type.
+TYPE_TOKENS = {
+    TokenType.T_INT,
+    TokenType.T_FLOAT,
+    TokenType.T_BOOL,
+    TokenType.T_STRING,
+    TokenType.T_ARRAY,
+    TokenType.T_VOID,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: its category, raw text, decoded value, and position."""
+
+    type: TokenType
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.column}"

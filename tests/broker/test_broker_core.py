@@ -1,0 +1,309 @@
+"""Broker core lifecycle, driven with scripted envelopes and a manual clock."""
+
+import pytest
+
+from repro.broker.core import BrokerConfig, BrokerCore
+from repro.broker.scheduling import LeastLoadedStrategy
+from repro.common.clock import VirtualClock
+from repro.common.ids import NodeId, TaskletId
+from repro.core.qoc import QoC
+from repro.core.tasklet import Tasklet
+from repro.transport.message import (
+    AssignExecution,
+    CancelExecution,
+    ExecutionResult,
+    Heartbeat,
+    RegisterAck,
+    RegisterProvider,
+    SubmitAck,
+    SubmitTasklet,
+    TaskletComplete,
+    Unregister,
+    body_of,
+)
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source("func main(x: int) -> int { return x * 2; }")
+
+
+class Harness:
+    """Drives one BrokerCore with typed messages; collects typed replies."""
+
+    def __init__(self, strategy=None, config=None):
+        self.clock = VirtualClock()
+        self.broker = BrokerCore(
+            clock=self.clock,
+            strategy=strategy or LeastLoadedStrategy(),
+            config=config or BrokerConfig(execution_timeout=None),
+        )
+        self._tasklet_counter = 0
+
+    def send(self, body, src="node"):
+        envelopes = self.broker.handle(body.envelope(NodeId(src), self.broker.node_id))
+        return [(e.dst, body_of(e)) for e in envelopes]
+
+    def tick(self):
+        return [(e.dst, body_of(e)) for e in self.broker.tick()]
+
+    def add_provider(self, name="p1", capacity=2, score=1e6):
+        return self.send(
+            RegisterProvider(
+                provider_id=name,
+                device_class="desktop",
+                capacity=capacity,
+                benchmark_score=score,
+            ),
+            src=name,
+        )
+
+    def submit(self, qoc=None, consumer="c1", args=None):
+        self._tasklet_counter += 1
+        tasklet = Tasklet(
+            tasklet_id=TaskletId(f"tl-{self._tasklet_counter}"),
+            program=PROGRAM,
+            entry="main",
+            args=args or [21],
+            qoc=qoc or QoC(),
+        )
+        out = self.send(SubmitTasklet(tasklet=tasklet.to_dict()), src=consumer)
+        return tasklet.tasklet_id, out
+
+    def complete(self, assign: AssignExecution, value=42, status="success",
+                 provider=None, duration=1.0):
+        result = ExecutionResult(
+            execution_id=assign.execution_id,
+            tasklet_id=assign.tasklet_id,
+            provider_id=provider or "p1",
+            status=status,
+            value=value,
+            error=None if status == "success" else "failed",
+            instructions=1000,
+            started_at=self.clock.now(),
+            finished_at=self.clock.now() + duration,
+        )
+        return self.send(result, src=result.provider_id)
+
+
+def bodies(messages, body_type):
+    return [body for _dst, body in messages if isinstance(body, body_type)]
+
+
+class TestRegistration:
+    def test_register_acked(self):
+        harness = Harness()
+        replies = harness.add_provider()
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and acks[0].accepted
+
+    def test_bad_registration_rejected(self):
+        harness = Harness()
+        replies = harness.send(
+            RegisterProvider(
+                provider_id="p1", device_class="x", capacity=0, benchmark_score=1e6
+            ),
+            src="p1",
+        )
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and not acks[0].accepted
+
+    def test_heartbeat_from_stranger_asks_reregistration(self):
+        harness = Harness()
+        replies = harness.send(Heartbeat(provider_id="ghost", free_slots=1), src="ghost")
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and not acks[0].accepted
+
+
+class TestSubmission:
+    def test_submit_assigns_to_provider(self):
+        harness = Harness()
+        harness.add_provider()
+        tasklet_id, replies = harness.submit()
+        acks = bodies(replies, SubmitAck)
+        assigns = bodies(replies, AssignExecution)
+        assert acks[0].accepted
+        assert len(assigns) == 1
+        assert assigns[0].tasklet_id == tasklet_id
+        assert assigns[0].entry == "main"
+        assert assigns[0].program_fingerprint == PROGRAM.fingerprint()
+
+    def test_submit_without_providers_queues(self):
+        harness = Harness()
+        tasklet_id, replies = harness.submit()
+        assert bodies(replies, SubmitAck)[0].accepted
+        assert bodies(replies, AssignExecution) == []
+        assert harness.broker.pending_tasklets == 1
+        # A provider arriving later drains the backlog.
+        replies = harness.add_provider()
+        assigns = bodies(replies, AssignExecution)
+        assert len(assigns) == 1 and assigns[0].tasklet_id == tasklet_id
+
+    def test_malformed_tasklet_rejected(self):
+        harness = Harness()
+        replies = harness.send(SubmitTasklet(tasklet={"tasklet_id": "x"}), src="c1")
+        acks = bodies(replies, SubmitAck)
+        assert not acks[0].accepted
+        assert "malformed" in acks[0].reason
+
+    def test_local_only_rejected_at_broker(self):
+        harness = Harness()
+        harness.add_provider()
+        tasklet = Tasklet(
+            tasklet_id=TaskletId("tl-local"),
+            program=PROGRAM,
+            entry="main",
+            args=[1],
+            qoc=QoC.private(),
+        )
+        replies = harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+        assert not bodies(replies, SubmitAck)[0].accepted
+
+    def test_duplicate_tasklet_id_rejected(self):
+        harness = Harness()
+        harness.add_provider()
+        tasklet = Tasklet(
+            tasklet_id=TaskletId("tl-dup"), program=PROGRAM, entry="main", args=[1]
+        )
+        harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+        replies = harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+        assert not bodies(replies, SubmitAck)[0].accepted
+
+
+class TestCompletion:
+    def test_result_completes_tasklet(self):
+        harness = Harness()
+        harness.add_provider()
+        _tid, replies = harness.submit()
+        assign = bodies(replies, AssignExecution)[0]
+        replies = harness.complete(assign, value=42)
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1
+        assert completions[0].ok and completions[0].value == 42
+        assert completions[0].attempts == 1
+        assert harness.broker.pending_tasklets == 0
+        assert harness.broker.stats.tasklets_completed == 1
+
+    def test_completion_goes_to_submitting_consumer(self):
+        harness = Harness()
+        harness.add_provider()
+        _tid, replies = harness.submit(consumer="consumer-7")
+        assign = bodies(replies, AssignExecution)[0]
+        messages = harness.complete(assign)
+        destinations = [dst for dst, body in messages if isinstance(body, TaskletComplete)]
+        assert destinations == ["consumer-7"]
+
+    def test_late_duplicate_result_ignored(self):
+        harness = Harness()
+        harness.add_provider()
+        _tid, replies = harness.submit()
+        assign = bodies(replies, AssignExecution)[0]
+        harness.complete(assign)
+        replies = harness.complete(assign)  # duplicate
+        assert bodies(replies, TaskletComplete) == []
+
+    def test_vm_error_without_retries_fails_tasklet(self):
+        harness = Harness()
+        harness.add_provider()
+        _tid, replies = harness.submit()
+        assign = bodies(replies, AssignExecution)[0]
+        replies = harness.complete(assign, status="vm_error", value=None)
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert harness.broker.stats.tasklets_failed == 1
+
+    def test_failure_with_retries_reissues(self):
+        harness = Harness()
+        harness.add_provider("p1")
+        harness.add_provider("p2")
+        _tid, replies = harness.submit(qoc=QoC(max_attempts=3))
+        assign = bodies(replies, AssignExecution)[0]
+        replies = harness.complete(assign, status="vm_error")
+        reissues = bodies(replies, AssignExecution)
+        assert len(reissues) == 1
+        assert reissues[0].execution_id != assign.execution_id
+        # Second attempt succeeds.
+        replies = harness.complete(reissues[0], provider="p2")
+        assert bodies(replies, TaskletComplete)[0].ok
+
+    def test_attempt_budget_exhausts(self):
+        harness = Harness()
+        harness.add_provider()
+        _tid, replies = harness.submit(qoc=QoC(max_attempts=2))
+        assign = bodies(replies, AssignExecution)[0]
+        replies = harness.complete(assign, status="vm_error")
+        second = bodies(replies, AssignExecution)[0]
+        replies = harness.complete(second, status="vm_error")
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert "failed" in completions[0].error
+
+
+class TestRedundancy:
+    def test_replicas_go_to_distinct_providers(self):
+        harness = Harness()
+        for name in ("p1", "p2", "p3"):
+            harness.add_provider(name, capacity=1)
+        _tid, replies = harness.submit(qoc=QoC.reliable(redundancy=3))
+        assigns = bodies(replies, AssignExecution)
+        destinations = [dst for dst, body in replies if isinstance(body, AssignExecution)]
+        assert len(assigns) == 3
+        assert len(set(destinations)) == 3
+
+    def test_majority_completes_and_cancels_rest(self):
+        harness = Harness()
+        for name in ("p1", "p2", "p3"):
+            harness.add_provider(name, capacity=1)
+        _tid, replies = harness.submit(qoc=QoC.reliable(redundancy=3))
+        assigns = [(dst, body) for dst, body in replies if isinstance(body, AssignExecution)]
+        harness.complete(assigns[0][1], value=7, provider=assigns[0][0])
+        replies = harness.complete(assigns[1][1], value=7, provider=assigns[1][0])
+        completions = bodies(replies, TaskletComplete)
+        cancels = bodies(replies, CancelExecution)
+        assert completions[0].ok and completions[0].value == 7
+        assert len(cancels) == 1
+        assert cancels[0].execution_id == assigns[2][1].execution_id
+
+    def test_disagreement_reported_when_budget_gone(self):
+        harness = Harness()
+        for name in ("p1", "p2"):
+            harness.add_provider(name, capacity=1)
+        _tid, replies = harness.submit(qoc=QoC(redundancy=2, max_attempts=1))
+        assigns = [(dst, body) for dst, body in replies if isinstance(body, AssignExecution)]
+        harness.complete(assigns[0][1], value=1, provider=assigns[0][0])
+        replies = harness.complete(assigns[1][1], value=2, provider=assigns[1][0])
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1
+        assert not completions[0].ok
+        assert "disagreed" in completions[0].error
+
+    def test_small_pool_queues_missing_replicas(self):
+        harness = Harness()
+        harness.add_provider("p1", capacity=1)
+        _tid, replies = harness.submit(qoc=QoC.reliable(redundancy=3))
+        assert len(bodies(replies, AssignExecution)) == 1
+        # New provider triggers placement of a queued replica.
+        replies = harness.add_provider("p2", capacity=1)
+        assert len(bodies(replies, AssignExecution)) == 1
+
+
+class TestUnregister:
+    def test_unregister_fails_outstanding_work(self):
+        harness = Harness()
+        harness.add_provider("p1", capacity=1)
+        _tid, replies = harness.submit()
+        assert len(bodies(replies, AssignExecution)) == 1
+        replies = harness.send(Unregister(provider_id="p1"), src="p1")
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+
+    def test_unregister_with_retry_reissues_elsewhere(self):
+        harness = Harness()
+        harness.add_provider("p1", capacity=1)
+        harness.add_provider("p2", capacity=1)
+        _tid, replies = harness.submit(qoc=QoC(max_attempts=2))
+        first = bodies(replies, AssignExecution)[0]
+        first_dst = [dst for dst, body in replies if isinstance(body, AssignExecution)][0]
+        other = "p2" if first_dst == "p1" else "p1"
+        replies = harness.send(Unregister(provider_id=first_dst), src=first_dst)
+        reissues = [(dst, body) for dst, body in replies if isinstance(body, AssignExecution)]
+        assert len(reissues) == 1
+        assert reissues[0][0] == other

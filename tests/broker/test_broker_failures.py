@@ -1,0 +1,184 @@
+"""Broker failure handling: heartbeat detection, timeouts, flap recovery."""
+
+from repro.broker.core import BrokerConfig, BrokerCore
+from repro.broker.scheduling import LeastLoadedStrategy
+from repro.common.clock import VirtualClock
+from repro.common.ids import NodeId, TaskletId
+from repro.core.qoc import QoC
+from repro.core.tasklet import Tasklet
+from repro.transport.message import (
+    AssignExecution,
+    CancelExecution,
+    Heartbeat,
+    RegisterProvider,
+    SubmitTasklet,
+    TaskletComplete,
+    body_of,
+)
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source("func main(x: int) -> int { return x; }")
+
+
+class Harness:
+    def __init__(self, config=None):
+        self.clock = VirtualClock()
+        self.broker = BrokerCore(
+            clock=self.clock,
+            strategy=LeastLoadedStrategy(),
+            config=config
+            or BrokerConfig(
+                heartbeat_interval=1.0, heartbeat_tolerance=3.0, execution_timeout=10.0
+            ),
+        )
+        self._n = 0
+
+    def send(self, body, src):
+        envelopes = self.broker.handle(body.envelope(NodeId(src), self.broker.node_id))
+        return [(e.dst, body_of(e)) for e in envelopes]
+
+    def register(self, name, capacity=1):
+        return self.send(
+            RegisterProvider(
+                provider_id=name,
+                device_class="desktop",
+                capacity=capacity,
+                benchmark_score=1e6,
+            ),
+            src=name,
+        )
+
+    def submit(self, qoc=None):
+        self._n += 1
+        tasklet = Tasklet(
+            tasklet_id=TaskletId(f"tl-{self._n}"),
+            program=PROGRAM,
+            entry="main",
+            args=[1],
+            qoc=qoc or QoC(),
+        )
+        return self.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+
+    def tick_at(self, time):
+        self.clock.advance_to(time)
+        return [(e.dst, body_of(e)) for e in self.broker.tick()]
+
+
+def bodies(messages, body_type):
+    return [body for _dst, body in messages if isinstance(body, body_type)]
+
+
+class TestHeartbeatFailureDetection:
+    def test_silent_provider_declared_dead_and_work_reissued(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.register("p2")
+        replies = harness.submit(qoc=QoC(max_attempts=2))
+        first_dst = [d for d, b in replies if isinstance(b, AssignExecution)][0]
+        survivor = "p2" if first_dst == "p1" else "p1"
+        # The survivor heartbeats; the assignee stays silent past the horizon.
+        harness.clock.advance_to(2.0)
+        harness.send(Heartbeat(provider_id=survivor, free_slots=1), src=survivor)
+        replies = harness.tick_at(4.0)
+        reissues = [(d, b) for d, b in replies if isinstance(b, AssignExecution)]
+        assert len(reissues) == 1
+        assert reissues[0][0] == survivor
+        assert harness.broker.stats.providers_failed == 1
+        assert harness.broker.stats.executions_lost == 1
+
+    def test_dead_provider_without_retry_fails_tasklet(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.submit(qoc=QoC())  # max_attempts=1
+        replies = harness.tick_at(10.0)
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert "provider failed" in completions[0].error
+
+    def test_heartbeats_keep_provider_alive(self):
+        harness = Harness()
+        harness.register("p1")
+        for t in (1.0, 2.0, 3.0, 4.0):
+            harness.clock.advance_to(t)
+            harness.send(Heartbeat(provider_id="p1", free_slots=1), src="p1")
+        harness.tick_at(4.5)
+        assert harness.broker.stats.providers_failed == 0
+
+
+class TestExecutionTimeout:
+    def test_stuck_execution_reissued_and_cancelled(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.register("p2")
+        replies = harness.submit(qoc=QoC(max_attempts=2))
+        first = bodies(replies, AssignExecution)[0]
+        # Providers keep heartbeating (alive), but the result never comes.
+        for t in (1.0, 2.0, 4.0, 6.0, 8.0, 10.0):
+            harness.clock.advance_to(t)
+            harness.send(Heartbeat(provider_id="p1", free_slots=0), src="p1")
+            harness.send(Heartbeat(provider_id="p2", free_slots=1), src="p2")
+        replies = harness.tick_at(10.5)
+        cancels = bodies(replies, CancelExecution)
+        reissues = bodies(replies, AssignExecution)
+        assert len(cancels) == 1 and cancels[0].execution_id == first.execution_id
+        assert len(reissues) == 1
+        assert harness.broker.stats.executions_timed_out == 1
+
+    def test_deadline_qoc_tightens_timeout(self):
+        harness = Harness(
+            config=BrokerConfig(execution_timeout=100.0, heartbeat_tolerance=1e9)
+        )
+        harness.register("p1")
+        harness.register("p2")
+        harness.submit(qoc=QoC(max_attempts=2, deadline_s=2.0))
+        replies = harness.tick_at(2.5)
+        assert len(bodies(replies, AssignExecution)) == 1  # re-issued at deadline
+
+    def test_no_timeout_when_disabled(self):
+        harness = Harness(
+            config=BrokerConfig(execution_timeout=None, heartbeat_tolerance=1e9)
+        )
+        harness.register("p1")
+        harness.submit()
+        replies = harness.tick_at(1e6)
+        assert replies == []
+        assert harness.broker.pending_tasklets == 1
+
+
+class TestFlapRecovery:
+    def test_reregistration_fails_lost_executions_immediately(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.register("p2")
+        replies = harness.submit(qoc=QoC(max_attempts=2))
+        first_dst = [d for d, b in replies if isinstance(b, AssignExecution)][0]
+        other = "p2" if first_dst == "p1" else "p1"
+        # The assignee crashes and comes straight back (flap, faster than
+        # the failure detector); its re-registration must re-issue.
+        replies = harness.register(first_dst)
+        reissues = [(d, b) for d, b in replies if isinstance(b, AssignExecution)]
+        assert len(reissues) == 1
+        assert reissues[0][0] in (other, first_dst)
+        assert harness.broker.stats.executions_lost == 1
+
+    def test_fresh_registration_does_not_fail_anything(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.submit(qoc=QoC(max_attempts=2))
+        assert harness.broker.stats.executions_lost == 0
+        harness.register("p-new")
+        assert harness.broker.stats.executions_lost == 0
+
+
+class TestBacklogUnderFailure:
+    def test_queued_tasklet_survives_total_provider_loss(self):
+        harness = Harness()
+        harness.register("p1")
+        replies = harness.submit(qoc=QoC(max_attempts=3))
+        assert len(bodies(replies, AssignExecution)) == 1
+        # Provider dies; re-issue has nowhere to go -> replica queues.
+        harness.tick_at(10.0)
+        assert harness.broker.pending_tasklets == 1
+        # A new provider arrives; the queued replica is placed.
+        replies = harness.register("p2")
+        assert len(bodies(replies, AssignExecution)) == 1

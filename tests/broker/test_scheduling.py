@@ -1,0 +1,192 @@
+"""Scheduling strategies: selection invariants and ranking behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.broker.registry import ProviderView
+from repro.broker.scheduling import (
+    STRATEGIES,
+    FastestFirstStrategy,
+    LeastLoadedStrategy,
+    QoCStrategy,
+    RandomStrategy,
+    ReliabilityAwareStrategy,
+    RoundRobinStrategy,
+    make_strategy,
+)
+from repro.common.ids import NodeId
+from repro.core.qoc import QoC
+
+
+def view(name, speed=1e6, free=1, capacity=2, outstanding=0, price=0.0,
+         reliability=0.9, device_class="desktop"):
+    return ProviderView(
+        provider_id=NodeId(name),
+        device_class=device_class,
+        capacity=capacity,
+        free_slots=free,
+        effective_speed=speed,
+        reliability=reliability,
+        price=price,
+        outstanding=outstanding,
+    )
+
+
+ALL_STRATEGY_NAMES = sorted(STRATEGIES)
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_make_strategy_builds_each(name):
+    strategy = make_strategy(name)
+    assert strategy.name == name
+
+
+def test_make_strategy_unknown_name():
+    with pytest.raises(ValueError):
+        make_strategy("nope")
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_selection_invariants(name):
+    strategy = make_strategy(name, seed=1)
+    views = [view(f"p{i}", speed=1e6 * (i + 1)) for i in range(5)]
+    chosen = strategy.select(views, 3, QoC())
+    assert len(chosen) == 3
+    assert len(set(chosen)) == 3  # replicas on distinct providers
+    assert set(chosen) <= {v.provider_id for v in views}
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_empty_pool_returns_empty(name):
+    assert make_strategy(name).select([], 2, QoC()) == []
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_small_pool_returns_what_exists(name):
+    views = [view("only")]
+    assert make_strategy(name).select(views, 3, QoC()) == [NodeId("only")]
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_busy_providers_never_selected(name):
+    views = [view("busy", free=0), view("idle", free=1)]
+    chosen = make_strategy(name, seed=3).select(views, 2, QoC())
+    assert NodeId("busy") not in chosen
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
+def test_cost_ceiling_filters(name):
+    views = [view("cheap", price=1.0), view("pricey", price=10.0)]
+    chosen = make_strategy(name, seed=2).select(
+        views, 2, QoC(cost_ceiling=5.0)
+    )
+    assert chosen == [NodeId("cheap")]
+
+
+class TestFastestFirst:
+    def test_orders_by_effective_speed(self):
+        views = [view("slow", speed=1e5), view("fast", speed=1e7), view("mid", speed=1e6)]
+        chosen = FastestFirstStrategy().select(views, 3, QoC())
+        assert chosen == ["fast", "mid", "slow"]
+
+    def test_tie_breaks_toward_lower_load(self):
+        views = [
+            view("loaded", speed=1e6, outstanding=1, capacity=2),
+            view("idle", speed=1e6, outstanding=0, capacity=2),
+        ]
+        chosen = FastestFirstStrategy().select(views, 1, QoC())
+        assert chosen == ["idle"]
+
+
+class TestLeastLoaded:
+    def test_orders_by_relative_load(self):
+        views = [
+            view("half", outstanding=1, capacity=2, free=1),
+            view("quarter", outstanding=1, capacity=4, free=3),
+            view("empty", outstanding=0, capacity=1, free=1),
+        ]
+        chosen = LeastLoadedStrategy().select(views, 3, QoC())
+        assert chosen == ["empty", "quarter", "half"]
+
+
+class TestReliabilityAware:
+    def test_discounts_flaky_speed(self):
+        views = [
+            view("fast_flaky", speed=10e6, reliability=0.1),
+            view("slow_solid", speed=2e6, reliability=0.95),
+        ]
+        chosen = ReliabilityAwareStrategy().select(views, 1, QoC())
+        assert chosen == ["slow_solid"]
+
+
+class TestRoundRobin:
+    def test_cycles_through_pool(self):
+        strategy = RoundRobinStrategy()
+        views = [view("a"), view("b"), view("c")]
+        first = strategy.select(views, 1, QoC())
+        second = strategy.select(views, 1, QoC())
+        third = strategy.select(views, 1, QoC())
+        fourth = strategy.select(views, 1, QoC())
+        assert [first[0], second[0], third[0]] == ["a", "b", "c"]
+        assert fourth == first
+
+
+class TestRandom:
+    def test_seeded_determinism(self):
+        views = [view(f"p{i}") for i in range(10)]
+        a = RandomStrategy(seed=5).select(views, 3, QoC())
+        b = RandomStrategy(seed=5).select(views, 3, QoC())
+        assert a == b
+
+    def test_covers_the_pool_eventually(self):
+        strategy = RandomStrategy(seed=0)
+        views = [view(f"p{i}") for i in range(4)]
+        seen = set()
+        for _ in range(50):
+            seen.update(strategy.select(views, 1, QoC()))
+        assert len(seen) == 4
+
+
+class TestQoCComposite:
+    def test_speed_goal_uses_fastest(self):
+        views = [view("slow", speed=1e5), view("fast", speed=1e7)]
+        chosen = QoCStrategy().select(views, 1, QoC.fast())
+        assert chosen == ["fast"]
+
+    def test_default_balances_load(self):
+        views = [
+            view("loaded", outstanding=3, capacity=4, free=1),
+            view("idle", outstanding=0, capacity=4, free=4),
+        ]
+        chosen = QoCStrategy().select(views, 1, QoC())
+        assert chosen == ["idle"]
+
+    def test_replicas_spread_across_device_classes(self):
+        views = [
+            view("d1", device_class="desktop", speed=9e6),
+            view("d2", device_class="desktop", speed=8e6),
+            view("phone", device_class="smartphone", speed=1e6),
+        ]
+        chosen = QoCStrategy().select(views, 2, QoC.reliable(redundancy=2))
+        classes = {
+            "d1": "desktop", "d2": "desktop", "phone": "smartphone"
+        }
+        assert {classes[str(c)] for c in chosen} == {"desktop", "smartphone"}
+
+    def test_spread_falls_back_when_single_class(self):
+        views = [view("a"), view("b"), view("c")]
+        chosen = QoCStrategy().select(views, 3, QoC.reliable(redundancy=3))
+        assert len(set(chosen)) == 3
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=8),
+    st.sampled_from(ALL_STRATEGY_NAMES),
+)
+def test_no_strategy_ever_duplicates_or_invents(n, pool_size, name):
+    views = [view(f"p{i}", speed=1e6 + i) for i in range(pool_size)]
+    chosen = make_strategy(name, seed=7).select(views, n, QoC())
+    assert len(chosen) == len(set(chosen))
+    assert len(chosen) <= min(n, pool_size)
+    assert set(chosen) <= {v.provider_id for v in views}

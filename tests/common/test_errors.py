@@ -1,0 +1,59 @@
+"""The exception hierarchy: single root, correct subtyping, positions."""
+
+import pytest
+
+from repro.common import errors
+
+
+def test_all_errors_derive_from_tasklet_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.TaskletError), name
+
+
+def test_language_error_carries_position():
+    error = errors.ParserError("bad token", line=3, column=7)
+    assert error.line == 3
+    assert error.column == 7
+    assert "line 3" in str(error)
+    assert "column 7" in str(error)
+
+
+def test_language_error_without_position_has_clean_message():
+    error = errors.SemanticError("type mismatch")
+    assert str(error) == "type mismatch"
+
+
+def test_vm_errors_are_vm_errors():
+    for cls in (
+        errors.VMTypeError,
+        errors.VMDivisionByZero,
+        errors.VMIndexError,
+        errors.VMStackOverflow,
+        errors.VMFuelExhausted,
+        errors.VMInvalidProgram,
+    ):
+        assert issubclass(cls, errors.VMError)
+
+
+def test_transport_hierarchy():
+    assert issubclass(errors.CodecError, errors.TransportError)
+    assert issubclass(errors.ConnectionClosed, errors.TransportError)
+
+
+def test_scheduling_hierarchy():
+    assert issubclass(errors.NoProviderAvailable, errors.SchedulingError)
+    assert issubclass(errors.QoCUnsatisfiable, errors.SchedulingError)
+
+
+def test_execution_failed_records_attempts():
+    error = errors.ExecutionFailed("gone", attempts=4)
+    assert error.attempts == 4
+
+
+def test_single_except_clause_catches_everything():
+    with pytest.raises(errors.TaskletError):
+        raise errors.VMFuelExhausted("out of fuel")
+    with pytest.raises(errors.TaskletError):
+        raise errors.LexerError("bad char", 1, 1)

@@ -1,0 +1,157 @@
+"""Wire codec: value round-trips, type preservation, framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import CodecError
+from repro.common.serde import (
+    FrameReader,
+    MAX_FRAME_BYTES,
+    decode_value,
+    dumps,
+    encode_value,
+    loads,
+    pack_frame,
+)
+
+# JSON-safe Tasklet wire values: scalars, bytes, lists, str-keyed dicts.
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(
+        st.text(max_size=10).filter(
+            lambda k: not (k.startswith("__") and k.endswith("__"))
+        ),
+        children,
+        max_size=5,
+    ),
+    max_leaves=20,
+)
+
+
+@given(wire_values)
+def test_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def _not_reserved(key: str) -> bool:
+    return not (key.startswith("__") and key.endswith("__"))
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8).filter(_not_reserved),
+        wire_values,
+        max_size=5,
+    )
+)
+def test_payload_roundtrip_through_bytes(payload):
+    assert loads(dumps(payload)) == payload
+
+
+def test_int_float_distinction_survives():
+    payload = {"i": 1, "f": 1.0}
+    decoded = loads(dumps(payload))
+    assert type(decoded["i"]) is int
+    assert type(decoded["f"]) is float
+
+
+def test_bool_int_distinction_survives():
+    decoded = loads(dumps({"b": True, "i": 1}))
+    assert decoded["b"] is True
+    assert type(decoded["i"]) is int
+
+
+def test_bytes_roundtrip():
+    decoded = loads(dumps({"blob": b"\x00\xffbinary"}))
+    assert decoded["blob"] == b"\x00\xffbinary"
+
+
+def test_non_finite_floats_roundtrip():
+    decoded = loads(dumps({"pinf": float("inf"), "ninf": float("-inf")}))
+    assert decoded["pinf"] == float("inf")
+    assert decoded["ninf"] == float("-inf")
+
+
+def test_nan_roundtrips_as_nan():
+    decoded = loads(dumps({"nan": float("nan")}))
+    assert decoded["nan"] != decoded["nan"]
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(CodecError):
+        dumps({"bad": object()})
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(CodecError):
+        encode_value({1: "x"})
+
+
+def test_reserved_key_rejected():
+    with pytest.raises(CodecError):
+        encode_value({"__b__": "x"})
+
+
+def test_loads_rejects_non_object_payload():
+    with pytest.raises(CodecError):
+        loads(b"[1, 2]")
+
+
+def test_loads_rejects_garbage():
+    with pytest.raises(CodecError):
+        loads(b"\xff\xfe not json")
+
+
+class TestFraming:
+    def test_single_frame_roundtrip(self):
+        reader = FrameReader()
+        frames = reader.feed(pack_frame({"a": 1}))
+        assert frames == [{"a": 1}]
+        assert reader.pending_bytes == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        data = pack_frame({"n": 1}) + pack_frame({"n": 2}) + pack_frame({"n": 3})
+        assert FrameReader().feed(data) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.text(min_size=1, max_size=4).filter(
+                    lambda k: not (k.startswith("__") and k.endswith("__"))
+                ),
+                st.integers(),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_arbitrary_chunking_preserves_frames(self, payloads, chunk_size):
+        stream = b"".join(pack_frame(payload) for payload in payloads)
+        reader = FrameReader()
+        received = []
+        for start in range(0, len(stream), chunk_size):
+            received.extend(reader.feed(stream[start : start + chunk_size]))
+        assert received == payloads
+        assert reader.pending_bytes == 0
+
+    def test_partial_frame_is_buffered(self):
+        frame = pack_frame({"x": 42})
+        reader = FrameReader()
+        assert reader.feed(frame[:3]) == []
+        assert reader.pending_bytes == 3
+        assert reader.feed(frame[3:]) == [{"x": 42}]
+
+    def test_oversized_incoming_frame_rejected(self):
+        import struct
+
+        reader = FrameReader()
+        with pytest.raises(CodecError):
+            reader.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))

@@ -1,0 +1,136 @@
+"""Consumer core: submission bookkeeping and future resolution."""
+
+from repro.common.clock import VirtualClock
+from repro.common.ids import NodeId, TaskletId
+from repro.consumer.core import ConsumerCore
+from repro.core.qoc import QoC
+from repro.core.results import TaskletResult
+from repro.core.tasklet import Tasklet
+from repro.transport.message import (
+    SubmitAck,
+    SubmitTasklet,
+    TaskletComplete,
+    body_of,
+)
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source("func main(x: int) -> int { return x + 1; }")
+
+
+def make_core(clock=None):
+    return ConsumerCore(node_id=NodeId("c1"), clock=clock or VirtualClock())
+
+
+def make_tasklet(tasklet_id="tl-1"):
+    return Tasklet(
+        tasklet_id=TaskletId(tasklet_id), program=PROGRAM, entry="main", args=[1]
+    )
+
+
+def deliver(core, body, src="broker"):
+    return core.handle(body.envelope(NodeId(src), core.node_id))
+
+
+def test_submit_produces_wire_message_and_future():
+    core = make_core()
+    future, envelopes = core.submit(make_tasklet())
+    assert not future.done
+    assert len(envelopes) == 1
+    body = body_of(envelopes[0])
+    assert isinstance(body, SubmitTasklet)
+    assert body.tasklet["tasklet_id"] == "tl-1"
+    assert core.pending == 1
+    assert core.stats.submitted == 1
+
+
+def test_completion_resolves_future_with_latency():
+    clock = VirtualClock()
+    core = make_core(clock)
+    future, _ = core.submit(make_tasklet())
+    clock.advance(2.5)
+    deliver(core, TaskletComplete(tasklet_id="tl-1", ok=True, value=2, attempts=1))
+    outcome = future.wait(0)
+    assert outcome.ok and outcome.value == 2
+    assert outcome.latency == 2.5
+    assert core.pending == 0
+    assert core.stats.completed == 1
+
+
+def test_failed_completion():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    deliver(core, TaskletComplete(tasklet_id="tl-1", ok=False, error="lost", attempts=3))
+    outcome = future.wait(0)
+    assert not outcome.ok
+    assert outcome.error == "lost"
+    assert outcome.attempts == 3
+    assert core.stats.failed == 1
+
+
+def test_broker_rejection_resolves_future_as_failed():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    deliver(core, SubmitAck(tasklet_id="tl-1", accepted=False, reason="no capacity"))
+    outcome = future.wait(0)
+    assert not outcome.ok
+    assert "no capacity" in outcome.error
+    assert core.stats.rejected == 1
+
+
+def test_positive_ack_keeps_future_pending():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    deliver(core, SubmitAck(tasklet_id="tl-1", accepted=True))
+    assert not future.done
+
+
+def test_unknown_completion_ignored():
+    core = make_core()
+    deliver(core, TaskletComplete(tasklet_id="tl-ghost", ok=True, value=1))
+    assert core.stats.completed == 0
+
+
+def test_duplicate_completion_ignored():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    deliver(core, TaskletComplete(tasklet_id="tl-1", ok=True, value=1))
+    deliver(core, TaskletComplete(tasklet_id="tl-1", ok=True, value=2))
+    assert future.result(0) == 1
+    assert core.stats.completed == 1
+
+
+def test_execution_records_rehydrated():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    record = {
+        "execution_id": "ex-1",
+        "tasklet_id": "tl-1",
+        "provider_id": "p1",
+        "status": "success",
+        "value": 2,
+        "error": None,
+        "instructions": 50,
+        "started_at": 0.5,
+        "finished_at": 1.0,
+    }
+    deliver(
+        core,
+        TaskletComplete(
+            tasklet_id="tl-1", ok=True, value=2, attempts=1, executions=[record]
+        ),
+    )
+    outcome = future.wait(0)
+    assert len(outcome.executions) == 1
+    assert outcome.executions[0].provider_id == "p1"
+    assert outcome.provider_seconds == 0.5
+
+
+def test_resolve_local_bypasses_wire():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    core.resolve_local(
+        TaskletId("tl-1"),
+        TaskletResult(tasklet_id=TaskletId("tl-1"), ok=True, value=99),
+    )
+    assert future.result(0) == 99
+    assert core.stats.completed == 1

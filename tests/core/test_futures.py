@@ -1,0 +1,106 @@
+"""Futures: write-once semantics, callbacks, blocking waits."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import ExecutionFailed, TimeoutExpired
+from repro.common.ids import TaskletId
+from repro.core.futures import TaskletFuture
+from repro.core.results import TaskletResult
+
+
+def result(ok=True, value=None, error=None):
+    return TaskletResult(
+        tasklet_id=TaskletId("tl-1"), ok=ok, value=value, error=error, attempts=1
+    )
+
+
+def test_not_done_initially():
+    assert not TaskletFuture(TaskletId("tl-1")).done
+
+
+def test_resolve_then_result():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(value=42))
+    assert future.done
+    assert future.result(timeout=0) == 42
+
+
+def test_failed_result_raises_execution_failed():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(ok=False, error="all replicas lost"))
+    with pytest.raises(ExecutionFailed) as info:
+        future.result(timeout=0)
+    assert "all replicas lost" in str(info.value)
+
+
+def test_wait_returns_full_record():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(ok=False, error="boom"))
+    outcome = future.wait(timeout=0)
+    assert outcome.ok is False
+    assert outcome.error == "boom"
+
+
+def test_duplicate_resolution_keeps_first():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(value=1))
+    future.resolve(result(value=2))
+    assert future.result(0) == 1
+
+
+def test_wait_timeout_raises():
+    future = TaskletFuture(TaskletId("tl-1"))
+    with pytest.raises(TimeoutExpired):
+        future.wait(timeout=0.01)
+
+
+def test_callback_after_resolution_runs_immediately():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(value=5))
+    seen = []
+    future.add_done_callback(lambda r: seen.append(r.value))
+    assert seen == [5]
+
+
+def test_callbacks_run_on_resolution_in_order():
+    future = TaskletFuture(TaskletId("tl-1"))
+    seen = []
+    future.add_done_callback(lambda r: seen.append("a"))
+    future.add_done_callback(lambda r: seen.append("b"))
+    future.resolve(result())
+    assert seen == ["a", "b"]
+
+
+def test_cross_thread_wait():
+    future = TaskletFuture(TaskletId("tl-1"))
+
+    def resolver():
+        future.resolve(result(value="from-thread"))
+
+    thread = threading.Timer(0.05, resolver)
+    thread.start()
+    try:
+        assert future.result(timeout=5.0) == "from-thread"
+    finally:
+        thread.join()
+
+
+def test_many_threads_waiting_all_wake():
+    future = TaskletFuture(TaskletId("tl-1"))
+    outcomes = []
+    lock = threading.Lock()
+
+    def waiter():
+        value = future.result(timeout=5.0)
+        with lock:
+            outcomes.append(value)
+
+    threads = [threading.Thread(target=waiter) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    future.resolve(result(value=7))
+    for thread in threads:
+        thread.join()
+    assert outcomes == [7] * 8

@@ -1,0 +1,85 @@
+"""The Tasklet model: validation and wire format."""
+
+import pytest
+
+from repro.common.errors import TaskletError
+from repro.common.ids import TaskletId
+from repro.core.qoc import QoC
+from repro.core.tasklet import Tasklet
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source("func main(a: int, b: int) -> int { return a + b; }")
+
+
+def make(**overrides):
+    fields = {
+        "tasklet_id": TaskletId("tl-1"),
+        "program": PROGRAM,
+        "entry": "main",
+        "args": [1, 2],
+    }
+    fields.update(overrides)
+    return Tasklet(**fields)
+
+
+def test_valid_tasklet_constructs():
+    tasklet = make()
+    assert tasklet.qoc == QoC()
+    assert tasklet.seed == 0
+
+
+def test_unknown_entry_rejected():
+    with pytest.raises(TaskletError) as info:
+        make(entry="nosuch")
+    assert "available: main" in str(info.value)
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(TaskletError):
+        make(args=[1])
+
+
+def test_invalid_argument_value_rejected():
+    with pytest.raises(TaskletError):
+        make(args=[1, {"not": "a tasklet value"}])
+
+
+def test_nested_list_arguments_accepted():
+    program = compile_source("func main(xs: array) -> int { return len(xs); }")
+    tasklet = make(program=program, args=[[1, [2.5, "x"], True]])
+    assert tasklet.args[0][1] == [2.5, "x"]
+
+
+def test_non_positive_fuel_rejected():
+    with pytest.raises(TaskletError):
+        make(fuel=0)
+
+
+def test_wire_roundtrip():
+    tasklet = make(qoc=QoC.reliable(redundancy=2), seed=99, fuel=1234)
+    clone = Tasklet.from_dict(tasklet.to_dict())
+    assert clone.tasklet_id == tasklet.tasklet_id
+    assert clone.entry == tasklet.entry
+    assert clone.args == tasklet.args
+    assert clone.qoc == tasklet.qoc
+    assert clone.seed == 99
+    assert clone.fuel == 1234
+    assert clone.program.fingerprint() == tasklet.program.fingerprint()
+
+
+def test_to_dict_carries_program_fingerprint():
+    data = make().to_dict()
+    assert data["program_fingerprint"] == PROGRAM.fingerprint()
+
+
+def test_from_dict_validates():
+    data = make().to_dict()
+    data["entry"] = "nosuch"
+    with pytest.raises(TaskletError):
+        Tasklet.from_dict(data)
+
+
+def test_describe_mentions_id_and_entry():
+    text = make().describe()
+    assert "tl-1" in text
+    assert "main" in text

@@ -1,0 +1,162 @@
+"""Replica voting: majority formation, disagreement, vote-key semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.ids import ExecutionId, NodeId, TaskletId
+from repro.core.results import (
+    ExecutionRecord,
+    ExecutionStatus,
+    VoteCollector,
+    _vote_key,
+)
+
+_counter = iter(range(10**9))
+
+
+def record(value=None, ok=True, provider="p1"):
+    return ExecutionRecord(
+        execution_id=ExecutionId(f"ex-{next(_counter)}"),
+        tasklet_id=TaskletId("tl-1"),
+        provider_id=NodeId(provider),
+        status=ExecutionStatus.SUCCESS if ok else ExecutionStatus.PROVIDER_LOST,
+        value=value,
+        error=None if ok else "lost",
+    )
+
+
+class TestVoteKey:
+    def test_distinguishes_int_from_float(self):
+        assert _vote_key(1) != _vote_key(1.0)
+
+    def test_distinguishes_bool_from_int(self):
+        assert _vote_key(True) != _vote_key(1)
+
+    def test_distinguishes_none_from_zero(self):
+        assert _vote_key(None) != _vote_key(0)
+
+    def test_structural_equality_for_lists(self):
+        assert _vote_key([1, [2.5, "x"]]) == _vote_key([1, [2.5, "x"]])
+        assert _vote_key([1, 2]) != _vote_key([2, 1])
+
+    def test_float_precision_preserved(self):
+        assert _vote_key(0.1 + 0.2) != _vote_key(0.3)
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+            | st.text(max_size=10),
+            lambda children: st.lists(children, max_size=4),
+            max_leaves=10,
+        )
+    )
+    def test_key_is_deterministic(self, value):
+        assert _vote_key(value) == _vote_key(value)
+
+
+class TestRequiredVotes:
+    def test_default_majority(self):
+        assert VoteCollector(1).required == 1
+        assert VoteCollector(2).required == 2
+        assert VoteCollector(3).required == 2
+        assert VoteCollector(5).required == 3
+
+    def test_explicit_required_overrides(self):
+        assert VoteCollector(3, required=1).required == 1
+
+    def test_invalid_redundancy_rejected(self):
+        with pytest.raises(ValueError):
+            VoteCollector(0)
+
+
+class TestCollecting:
+    def test_single_success_decides_r1(self):
+        collector = VoteCollector(1)
+        collector.add(record(42))
+        assert collector.decided
+        assert [r.value for r in collector.winner()] == [42]
+
+    def test_r3_needs_two_agreeing(self):
+        collector = VoteCollector(3)
+        collector.add(record(42, provider="a"))
+        assert not collector.decided
+        collector.add(record(42, provider="b"))
+        assert collector.decided
+        assert len(collector.winner()) == 2
+
+    def test_failures_never_vote(self):
+        collector = VoteCollector(1)
+        collector.add(record(ok=False))
+        collector.add(record(ok=False))
+        assert not collector.decided
+        assert collector.winner() is None
+
+    def test_disagreement_detected(self):
+        collector = VoteCollector(3)
+        collector.add(record(1, provider="a"))
+        collector.add(record(2, provider="b"))
+        assert collector.disagreement()
+        assert not collector.decided
+
+    def test_majority_wins_over_minority_corruption(self):
+        collector = VoteCollector(3)
+        collector.add(record(7, provider="a"))
+        collector.add(record(999, provider="bad"))
+        collector.add(record(7, provider="c"))
+        assert collector.decided
+        assert all(r.value == 7 for r in collector.winner())
+
+    def test_equal_but_distinct_corruptions_never_decide(self):
+        collector = VoteCollector(3)
+        collector.add(record(100, provider="a"))
+        collector.add(record(200, provider="b"))
+        collector.add(record(300, provider="c"))
+        assert not collector.decided
+        assert collector.disagreement()
+
+    def test_all_records_returns_everything(self):
+        collector = VoteCollector(2)
+        collector.add(record(1))
+        collector.add(record(ok=False))
+        assert len(collector.all_records) == 2
+
+    def test_none_value_votes(self):
+        # Void tasklets: replicas all return None and must agree.
+        collector = VoteCollector(2)
+        collector.add(record(None, provider="a"))
+        collector.add(record(None, provider="b"))
+        assert collector.decided
+
+    @given(st.integers(min_value=1, max_value=7), st.data())
+    def test_winner_iff_some_group_reaches_required(self, redundancy, data):
+        collector = VoteCollector(redundancy)
+        values = data.draw(
+            st.lists(st.integers(min_value=0, max_value=3), max_size=10)
+        )
+        for value in values:
+            collector.add(record(value))
+        counts = {v: values.count(v) for v in set(values)}
+        expect_decided = any(
+            count >= collector.required for count in counts.values()
+        )
+        assert collector.decided == expect_decided
+
+
+class TestExecutionRecord:
+    def test_duration_non_negative(self):
+        r = record(1)
+        r.started_at, r.finished_at = 5.0, 4.0  # clock skew on the wire
+        assert r.duration == 0.0
+
+    def test_wire_roundtrip(self):
+        original = record([1, "x"], provider="p9")
+        original.instructions = 123
+        original.started_at = 1.5
+        original.finished_at = 2.5
+        clone = ExecutionRecord.from_dict(original.to_dict())
+        assert clone == original
+        assert clone.duration == 1.0
+
+    def test_ok_property(self):
+        assert record(1).ok
+        assert not record(ok=False).ok

@@ -1,0 +1,46 @@
+"""Provider self-benchmark: sanity of the measured score."""
+
+import pytest
+
+from repro.provider.benchmark import BenchmarkReport, run_benchmark
+
+
+def test_benchmark_returns_positive_score():
+    report = run_benchmark(limit=400, repetitions=1)
+    assert report.score > 0
+    assert report.instructions > 0
+    assert report.elapsed_s > 0
+
+
+def test_score_is_instructions_over_time():
+    report = run_benchmark(limit=400, repetitions=1)
+    assert report.score == pytest.approx(report.instructions / report.elapsed_s)
+
+
+def test_larger_limit_executes_more_instructions():
+    small = run_benchmark(limit=300, repetitions=1)
+    large = run_benchmark(limit=1200, repetitions=1)
+    assert large.instructions > small.instructions
+
+
+def test_repetitions_keep_the_fastest():
+    # Scores from repeated runs are the min-time run; the score cannot be
+    # lower than a single-run score by construction, but it must stay in
+    # the same order of magnitude.
+    single = run_benchmark(limit=400, repetitions=1)
+    multi = run_benchmark(limit=400, repetitions=3)
+    assert multi.score == pytest.approx(single.score, rel=2.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        run_benchmark(limit=5)
+    with pytest.raises(ValueError):
+        run_benchmark(repetitions=0)
+
+
+def test_describe_mentions_units():
+    report = BenchmarkReport(instructions=2_000_000, elapsed_s=0.5, score=4e6)
+    text = report.describe()
+    assert "M instr/s" in text
+    assert "4.00" in text

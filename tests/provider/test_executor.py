@@ -1,0 +1,131 @@
+"""Tasklet executor: outcomes, caching, fingerprint integrity."""
+
+import pytest
+
+from repro.core.results import ExecutionStatus
+from repro.provider.executor import TaskletExecutor
+from repro.transport.message import AssignExecution
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source(
+    """
+    func main(n: int) -> int {
+        if (n < 0) { return 1 / (n - n); }  // deliberate division by zero
+        var total: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) { total = total + i; }
+        return total;
+    }
+    """
+)
+
+
+def assignment(n=10, fingerprint=None, fuel=1_000_000, program=None, seed=0):
+    target = program or PROGRAM
+    return AssignExecution(
+        execution_id=f"ex-{n}",
+        tasklet_id=f"tl-{n}",
+        consumer_id="c",
+        program=target.to_dict(),
+        entry="main",
+        args=[n],
+        seed=seed,
+        fuel=fuel,
+        program_fingerprint=(
+            target.fingerprint() if fingerprint is None else fingerprint
+        ),
+    )
+
+
+def test_successful_execution():
+    outcome = TaskletExecutor().execute(assignment(10))
+    assert outcome.ok
+    assert outcome.value == 45
+    assert outcome.instructions > 0
+    assert outcome.error is None
+
+
+def test_vm_error_becomes_failed_outcome():
+    outcome = TaskletExecutor().execute(assignment(-1))
+    assert not outcome.ok
+    assert outcome.status is ExecutionStatus.VM_ERROR
+    assert "VMDivisionByZero" in outcome.error
+
+
+def test_fuel_exhaustion_becomes_failed_outcome():
+    outcome = TaskletExecutor().execute(assignment(10**6, fuel=1000))
+    assert not outcome.ok
+    assert "VMFuelExhausted" in outcome.error
+
+
+def test_malformed_program_becomes_failed_outcome():
+    request = assignment(1)
+    request.program = {"version": 1, "functions": [], "constants": []}
+    request.program_fingerprint = ""
+    outcome = TaskletExecutor().execute(request)
+    assert not outcome.ok
+
+
+def test_cache_hits_for_repeated_program():
+    executor = TaskletExecutor()
+    for n in range(5):
+        assert executor.execute(assignment(n)).ok
+    assert executor.cache_misses == 1
+    assert executor.cache_hits == 4
+
+
+def test_cache_distinguishes_programs():
+    other = compile_source("func main(n: int) -> int { return n; }")
+    executor = TaskletExecutor()
+    executor.execute(assignment(1))
+    executor.execute(assignment(1, program=other))
+    assert executor.cache_misses == 2
+
+
+def test_cache_eviction_respects_size():
+    executor = TaskletExecutor(cache_size=2)
+    programs = [
+        compile_source(f"func main(n: int) -> int {{ return n + {i}; }}")
+        for i in range(3)
+    ]
+    for program in programs:
+        executor.execute(assignment(1, program=program))
+    # Oldest evicted: re-running it misses again.
+    executor.execute(assignment(1, program=programs[0]))
+    assert executor.cache_misses == 4
+
+
+def test_fingerprint_mismatch_rejected():
+    outcome = TaskletExecutor().execute(assignment(1, fingerprint="bogus"))
+    assert not outcome.ok
+    assert "fingerprint mismatch" in outcome.error
+
+
+def test_fingerprint_poisoning_cannot_hijack_cache():
+    # A request claiming the fingerprint of program A but shipping
+    # program B must not poison A's cache slot.
+    a = compile_source("func main(n: int) -> int { return 111; }")
+    b = compile_source("func main(n: int) -> int { return 222; }")
+    executor = TaskletExecutor()
+    poisoned = assignment(1, program=b)
+    poisoned.program_fingerprint = a.fingerprint()
+    assert not executor.execute(poisoned).ok
+    honest = assignment(1, program=a)
+    assert executor.execute(honest).value == 111
+
+
+def test_missing_fingerprint_still_works():
+    outcome = TaskletExecutor().execute(assignment(5, fingerprint=""))
+    assert outcome.ok and outcome.value == 10
+
+
+def test_seed_reaches_the_vm():
+    program = compile_source("func main() -> float { return rand(); }")
+    executor = TaskletExecutor()
+    request_a = assignment(0, program=program, seed=1)
+    request_a.args = []
+    request_b = assignment(0, program=program, seed=1)
+    request_b.args = []
+    request_c = assignment(0, program=program, seed=2)
+    request_c.args = []
+    assert executor.execute(request_a).value == executor.execute(request_b).value
+    assert executor.execute(request_a).value != executor.execute(request_c).value

@@ -1,0 +1,208 @@
+"""Provider core: slot model, virtual timing, faults, lifecycle messages."""
+
+import random
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.ids import NodeId
+from repro.provider.core import ProviderConfig, ProviderCore
+from repro.provider.failure import ExecutionFailureModel
+from repro.transport.message import (
+    AssignExecution,
+    ExecutionRejected,
+    ExecutionResult,
+    Heartbeat,
+    RegisterAck,
+    RegisterProvider,
+    Unregister,
+    body_of,
+)
+from repro.tvm.compiler import compile_source
+
+PROGRAM = compile_source(
+    """
+    func main(n: int) -> int {
+        var total: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) { total = total + i; }
+        return total;
+    }
+    """
+)
+
+
+def make_provider(clock=None, **config_overrides):
+    defaults = dict(capacity=1, speed_ips=1e6, startup_overhead_s=0.01)
+    defaults.update(config_overrides)
+    return ProviderCore(
+        node_id=NodeId("p1"),
+        clock=clock or VirtualClock(),
+        config=ProviderConfig(**defaults),
+    )
+
+
+def assign(n=100, execution_id="ex-1"):
+    return AssignExecution(
+        execution_id=execution_id,
+        tasklet_id="tl-1",
+        consumer_id="c1",
+        program=PROGRAM.to_dict(),
+        entry="main",
+        args=[n],
+        seed=0,
+        fuel=10_000_000,
+        program_fingerprint=PROGRAM.fingerprint(),
+    )
+
+
+def handle(provider, body, src="broker"):
+    envelope = body.envelope(NodeId(src), provider.node_id)
+    return provider.handle(envelope)
+
+
+class TestLifecycle:
+    def test_start_produces_registration(self):
+        provider = make_provider(capacity=3, price=2.0)
+        outbound = provider.start()
+        assert len(outbound) == 1
+        delay, envelope = outbound[0]
+        assert delay == 0.0
+        body = body_of(envelope)
+        assert isinstance(body, RegisterProvider)
+        assert body.capacity == 3
+        assert body.price == 2.0
+
+    def test_ack_enables_heartbeats(self):
+        provider = make_provider()
+        assert provider.tick() == []  # not registered yet
+        handle(provider, RegisterAck(accepted=True))
+        beats = provider.tick()
+        assert len(beats) == 1
+        assert isinstance(body_of(beats[0][1]), Heartbeat)
+
+    def test_rejected_ack_triggers_reregistration(self):
+        provider = make_provider()
+        outbound = handle(provider, RegisterAck(accepted=False, reason="unknown"))
+        assert isinstance(body_of(outbound[0][1]), RegisterProvider)
+
+    def test_stop_produces_unregister(self):
+        provider = make_provider()
+        handle(provider, RegisterAck(accepted=True))
+        outbound = provider.stop()
+        assert isinstance(body_of(outbound[0][1]), Unregister)
+        assert provider.tick() == []
+
+    def test_heartbeat_reports_free_slots(self):
+        provider = make_provider(capacity=2)
+        handle(provider, RegisterAck(accepted=True))
+        handle(provider, assign())
+        beat = body_of(provider.tick()[0][1])
+        assert beat.free_slots == 1
+
+
+class TestExecutionTiming:
+    def test_result_delay_is_overhead_plus_compute(self):
+        provider = make_provider(speed_ips=1e6, startup_overhead_s=0.5)
+        outbound = handle(provider, assign(n=1000))
+        (delay, envelope), = outbound
+        body = body_of(envelope)
+        assert isinstance(body, ExecutionResult)
+        assert body.status == "success"
+        expected = 0.5 + body.instructions / 1e6
+        assert delay == pytest.approx(expected)
+        assert body.finished_at - body.started_at == pytest.approx(expected)
+
+    def test_faster_device_finishes_sooner(self):
+        slow = handle(make_provider(speed_ips=1e5), assign())[0][0]
+        fast = handle(make_provider(speed_ips=1e7), assign())[0][0]
+        assert fast < slow
+
+    def test_busy_slot_queues_sequentially(self):
+        provider = make_provider(capacity=1, speed_ips=1e6, startup_overhead_s=0.0)
+        first_delay = handle(provider, assign(execution_id="a"))[0][0]
+        second_delay = handle(provider, assign(execution_id="b"))[0][0]
+        assert second_delay == pytest.approx(2 * first_delay)
+
+    def test_parallel_slots_overlap(self):
+        provider = make_provider(capacity=2, startup_overhead_s=0.0)
+        first_delay = handle(provider, assign(execution_id="a"))[0][0]
+        second_delay = handle(provider, assign(execution_id="b"))[0][0]
+        assert second_delay == pytest.approx(first_delay)
+
+    def test_slots_free_as_virtual_time_passes(self):
+        clock = VirtualClock()
+        provider = make_provider(clock=clock, capacity=1, startup_overhead_s=0.0)
+        first_delay = handle(provider, assign(execution_id="a"))[0][0]
+        clock.advance(first_delay + 1.0)
+        second_delay = handle(provider, assign(execution_id="b"))[0][0]
+        assert second_delay == pytest.approx(first_delay)
+
+    def test_queue_overflow_rejects(self):
+        provider = make_provider(capacity=1, max_queue=1)
+        handle(provider, assign(execution_id="running"))
+        handle(provider, assign(execution_id="queued"))
+        outbound = handle(provider, assign(execution_id="overflow"))
+        body = body_of(outbound[0][1])
+        assert isinstance(body, ExecutionRejected)
+        assert provider.stats.rejected == 1
+
+
+class TestOutcomes:
+    def test_vm_error_reported(self):
+        bad = compile_source("func main(n: int) -> int { return n / 0; }")
+        request = assign()
+        request.program = bad.to_dict()
+        request.program_fingerprint = bad.fingerprint()
+        provider = make_provider()
+        body = body_of(handle(provider, request)[0][1])
+        assert body.status == "vm_error"
+        assert provider.stats.vm_errors == 1
+
+    def test_drop_fault_produces_no_message(self):
+        provider = ProviderCore(
+            node_id=NodeId("p1"),
+            clock=VirtualClock(),
+            config=ProviderConfig(),
+            failure_model=ExecutionFailureModel(
+                drop_probability=1.0, rng=random.Random(0)
+            ),
+        )
+        assert handle(provider, assign()) == []
+        assert provider.stats.dropped_by_fault == 1
+
+    def test_corrupt_fault_changes_value(self):
+        provider = ProviderCore(
+            node_id=NodeId("p1"),
+            clock=VirtualClock(),
+            config=ProviderConfig(),
+            failure_model=ExecutionFailureModel(
+                corrupt_probability=1.0, rng=random.Random(0)
+            ),
+        )
+        body = body_of(handle(provider, assign(n=10))[0][1])
+        assert body.status == "success"
+        assert body.value != 45
+        assert provider.stats.corrupted_by_fault == 1
+
+    def test_stats_track_busy_seconds(self):
+        provider = make_provider()
+        handle(provider, assign())
+        assert provider.stats.busy_seconds > 0
+        assert provider.stats.executed == 1
+        assert provider.stats.succeeded == 1
+
+
+class TestValidation:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_provider(capacity=0)
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ValueError):
+            make_provider(speed_ips=0)
+
+    def test_reported_score_defaults_to_speed(self):
+        config = ProviderConfig(speed_ips=5e6)
+        assert config.reported_score() == 5e6
+        lying = ProviderConfig(speed_ips=5e6, benchmark_score=9e9)
+        assert lying.reported_score() == 9e9

@@ -1,0 +1,101 @@
+"""Simulation runner edge cases: manual churn, incarnations, accounting."""
+
+import pytest
+
+from repro.broker.core import BrokerConfig
+from repro.core import kernels
+from repro.core.qoc import QoC
+from repro.provider.core import ProviderConfig
+from repro.sim.runner import Simulation
+
+
+def slow_provider(**overrides):
+    defaults = dict(device_class="desktop", capacity=1, speed_ips=100e3)
+    defaults.update(overrides)
+    return ProviderConfig(**defaults)
+
+
+def test_manual_provider_toggle_loses_inflight_work():
+    simulation = Simulation(
+        seed=1,
+        broker_config=BrokerConfig(
+            heartbeat_interval=0.25, heartbeat_tolerance=2.0, execution_timeout=5.0
+        ),
+    )
+    provider_id = simulation.add_provider(slow_provider())
+    consumer = simulation.add_consumer()
+    future = consumer.library.submit(
+        kernels.PRIME_COUNT, args=[2000], qoc=QoC(max_attempts=3)
+    )
+    simulation.run_for(0.2)  # execution in flight (takes ~1.3 virtual s)
+    simulation.set_provider_up(provider_id, False)
+    simulation.run_for(2.0)
+    assert not future.done  # result was lost with the provider
+    assert simulation.messages_dropped > 0
+    simulation.set_provider_up(provider_id, True)
+    simulation.run(max_time=100.0)
+    assert future.wait(0).ok  # re-registration triggered re-issue
+
+
+def test_double_down_and_double_up_are_idempotent():
+    simulation = Simulation(seed=2)
+    provider_id = simulation.add_provider(slow_provider())
+    simulation.set_provider_up(provider_id, False)
+    simulation.set_provider_up(provider_id, False)
+    simulation.set_provider_up(provider_id, True)
+    incarnation = simulation.providers[provider_id].incarnation
+    simulation.set_provider_up(provider_id, True)
+    assert simulation.providers[provider_id].incarnation == incarnation
+
+
+def test_incarnation_bumps_on_each_return():
+    simulation = Simulation(seed=3)
+    provider_id = simulation.add_provider(slow_provider())
+    for expected in (1, 2, 3):
+        simulation.set_provider_up(provider_id, False)
+        simulation.set_provider_up(provider_id, True)
+        assert simulation.providers[provider_id].incarnation == expected
+
+
+def test_run_for_advances_exactly():
+    simulation = Simulation(seed=4)
+    simulation.add_provider(slow_provider())
+    simulation.run_for(1.5)
+    assert simulation.now == pytest.approx(1.5)
+    simulation.run_for(0.5)
+    assert simulation.now == pytest.approx(2.0)
+
+
+def test_message_type_counts_accumulate():
+    simulation = Simulation(seed=5)
+    simulation.add_provider(slow_provider(speed_ips=50e6))
+    consumer = simulation.add_consumer()
+    future = consumer.library.submit(kernels.PRIME_COUNT, args=[200])
+    simulation.run(max_time=100.0)
+    assert future.wait(0).ok
+    counts = simulation.message_type_counts
+    assert counts["register_provider"] == 1
+    assert counts["submit_tasklet"] == 1
+    assert counts["assign_execution"] == 1
+    assert counts["execution_result"] == 1
+    assert counts["tasklet_complete"] == 1
+
+
+def test_named_nodes():
+    simulation = Simulation(seed=6)
+    provider_id = simulation.add_provider(slow_provider(), name="my-provider")
+    consumer = simulation.add_consumer(name="my-phone")
+    assert provider_id == "my-provider"
+    assert consumer.node_id == "my-phone"
+
+
+def test_messages_to_unknown_destination_are_dropped():
+    from repro.transport.message import Heartbeat
+
+    simulation = Simulation(seed=7)
+    envelope = Heartbeat(provider_id="ghost", free_slots=1).envelope(
+        "ghost", "nowhere"
+    )
+    simulation.dispatch(envelope)
+    simulation.run_for(1.0)
+    assert simulation.messages_dropped == 1

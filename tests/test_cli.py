@@ -1,0 +1,140 @@
+"""The command-line toolchain."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+func main(n: int) -> int {
+    var total: int = 0;
+    for (var i: int = 1; i <= n; i = i + 1) { total = total + i; }
+    return total;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.tl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_source(self, source_file, capsys):
+        assert main(["run", source_file, "10"]) == 0
+        assert json.loads(capsys.readouterr().out) == 55
+
+    def test_run_with_stats(self, source_file, capsys):
+        assert main(["run", source_file, "5", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == 15
+        assert "instructions=" in captured.err
+
+    def test_json_and_bare_word_arguments(self, tmp_path, capsys):
+        path = tmp_path / "echo.tl"
+        path.write_text(
+            "func main(s: string, xs: array, f: float) -> array "
+            "{ return [s, xs, f]; }"
+        )
+        assert main(["run", str(path), "hello", "[1,2]", "2.5"]) == 0
+        assert json.loads(capsys.readouterr().out) == ["hello", [1, 2], 2.5]
+
+    def test_custom_entry(self, tmp_path, capsys):
+        path = tmp_path / "multi.tl"
+        path.write_text(
+            "func other() -> int { return 7; } func main() -> int { return 1; }"
+        )
+        assert main(["run", str(path), "--entry", "other"]) == 0
+        assert json.loads(capsys.readouterr().out) == 7
+
+    def test_fuel_limit_reported_as_error(self, tmp_path, capsys):
+        path = tmp_path / "loop.tl"
+        path.write_text("func main() -> int { while (true) {} return 0; }")
+        assert main(["run", str(path), "--fuel", "1000"]) == 1
+        assert "fuel" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.tl"]) == 2
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.tl"
+        path.write_text("func main( {")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompileDisasm:
+    def test_compile_to_stdout_is_loadable_bytecode(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+
+    def test_compile_to_file_then_run(self, source_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.tvm")
+        assert main(["compile", source_file, "-o", out]) == 0
+        capsys.readouterr()
+        assert main(["run", out, "4"]) == 0
+        assert json.loads(capsys.readouterr().out) == 10
+
+    def test_disasm_source(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        text = capsys.readouterr().out
+        assert ".func main" in text
+        assert "RET" in text
+
+    def test_disasm_compiled_artifact(self, source_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.tvm")
+        main(["compile", source_file, "-o", out])
+        capsys.readouterr()
+        assert main(["disasm", out]) == 0
+        assert ".func main" in capsys.readouterr().out
+
+
+class TestBenchAndSimulate:
+    def test_bench(self, capsys):
+        assert main(["bench", "--limit", "300", "--repetitions", "1"]) == 0
+        assert "M instr/s" in capsys.readouterr().out
+
+    def test_simulate_completes_all_tasks(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--providers", "desktop=2",
+                "--tasks", "6",
+                "--limit", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed          : 6/6" in out
+        assert "virtual makespan" in out
+
+    def test_simulate_with_redundancy_and_strategy(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--providers", "desktop=3",
+                "--tasks", "4",
+                "--limit", "200",
+                "--strategy", "fastest_first",
+                "--redundancy", "2",
+            ]
+        )
+        assert code == 0
+        assert "4/4" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_single_experiment(self, tmp_path, capsys):
+        out = str(tmp_path / "EXP.md")
+        assert main(["report", "F1", "--output", out]) == 0
+        content = open(out).read()
+        assert "F1" in content
+        assert "PASS" in content
+
+    def test_report_unknown_id(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "ZZ", "--output", str(tmp_path / "x.md")])

@@ -1,0 +1,48 @@
+"""The shipped examples must run clean (they double as acceptance tests).
+
+Each example asserts its own results internally; here we execute them as
+scripts (``runpy``) and check they exit without error.  The TCP example is
+covered separately by the integration suite (it spawns processes).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "OK - results verified" in out
+
+
+def test_mandelbrot_rendering(capsys):
+    out = run_example("mandelbrot_rendering.py", capsys)
+    assert "rows (tasklets)" in out
+    assert "@" in out  # the rendered set itself
+
+
+def test_reliable_monte_carlo(capsys):
+    out = run_example("reliable_monte_carlo.py", capsys)
+    assert "OK - correct despite drops" in out
+
+
+def test_edge_offloading(capsys):
+    out = run_example("edge_offloading.py", capsys)
+    assert "OK - all bursts completed" in out
+
+
+@pytest.mark.skipif(
+    sys.platform != "linux", reason="multiprocessing example tuned for linux CI"
+)
+def test_distributed_tcp(capsys):
+    out = run_example("distributed_tcp.py", capsys)
+    assert "OK" in out

@@ -1,0 +1,186 @@
+"""Bytecode container: serialisation, verification, fingerprints."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import VMInvalidProgram
+from repro.tvm.bytecode import (
+    BYTECODE_VERSION,
+    CompiledProgram,
+    FunctionCode,
+    Instruction,
+)
+from repro.tvm.compiler import compile_source
+from repro.tvm.opcodes import Op
+from repro.tvm.vm import execute
+
+SOURCES = [
+    "func main() -> int { return 1; }",
+    "func main(n: int) -> int { if (n > 0) { return n; } return -n; }",
+    """
+    func fib(n: int) -> int {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    func main(n: int) -> int { return fib(n); }
+    """,
+    'func main() -> string { return "hi" + str(1.5); }',
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_dict_roundtrip_preserves_behaviour(source):
+    program = compile_source(source)
+    clone = CompiledProgram.from_dict(json.loads(json.dumps(program.to_dict())))
+    args = [5] if program.function("main").n_params else []
+    assert execute(clone, "main", args) == execute(program, "main", args)
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_fingerprint_stable_across_roundtrip(source):
+    program = compile_source(source)
+    clone = CompiledProgram.from_dict(program.to_dict())
+    assert program.fingerprint() == clone.fingerprint()
+
+
+def test_fingerprint_differs_for_different_programs():
+    a = compile_source("func main() -> int { return 1; }")
+    b = compile_source("func main() -> int { return 2; }")
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_fingerprint_ignores_source_text():
+    a = compile_source("func main() -> int { return 1; }")
+    b = compile_source("func main() -> int { return 1; }  // comment")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_version_embedded_and_checked():
+    program = compile_source(SOURCES[0])
+    data = program.to_dict()
+    assert data["version"] == BYTECODE_VERSION
+    data["version"] = 999
+    with pytest.raises(VMInvalidProgram):
+        CompiledProgram.from_dict(data)
+
+
+def test_include_source_flag():
+    program = compile_source(SOURCES[0])
+    assert "source" not in program.to_dict()
+    assert "source" in program.to_dict(include_source=True)
+
+
+def _function(code, n_params=0, n_locals=0, returns_value=True, name="main"):
+    return FunctionCode(
+        name=name,
+        n_params=n_params,
+        n_locals=n_locals,
+        returns_value=returns_value,
+        code=code,
+    )
+
+
+def _program(functions, constants=None):
+    return CompiledProgram(functions=functions, constants=constants or [])
+
+
+RET = [Instruction(Op.PUSH_NONE), Instruction(Op.RET)]
+
+
+class TestVerification:
+    def test_empty_program_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            _program([]).verify()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            _program([_function([])]).verify()
+
+    def test_duplicate_function_names_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(RET), _function(RET)]).verify()
+
+    def test_missing_terminal_ret_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            _program([_function([Instruction(Op.PUSH_NONE)])]).verify()
+
+    def test_constant_index_out_of_range(self):
+        code = [Instruction(Op.PUSH_CONST, 3), Instruction(Op.RET)]
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)], constants=[1]).verify()
+
+    def test_slot_out_of_range(self):
+        code = [Instruction(Op.LOAD, 2), Instruction(Op.RET)]
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code, n_locals=1)]).verify()
+
+    def test_jump_target_out_of_range(self):
+        code = [Instruction(Op.JUMP, 99)] + RET
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_call_index_out_of_range(self):
+        code = [Instruction(Op.CALL, 5), Instruction(Op.RET)]
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_builtin_index_out_of_range(self):
+        code = [Instruction(Op.CALL_BUILTIN, 8 * 1000), Instruction(Op.RET)]
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_builtin_bad_arity_rejected(self):
+        # sqrt is unary; encode arity 3.
+        from repro.tvm.bytecode import builtin_index
+
+        operand = builtin_index("sqrt") * 8 + 3
+        code = [Instruction(Op.CALL_BUILTIN, operand), Instruction(Op.RET)]
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_operand_on_no_operand_op_rejected(self):
+        code = [Instruction(Op.POP, 1)] + RET
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_missing_operand_rejected(self):
+        code = [Instruction(Op.PUSH_CONST, None)] + RET
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(code)]).verify()
+
+    def test_inconsistent_locals_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            _program([_function(RET, n_params=3, n_locals=1)]).verify()
+
+    def test_unknown_opcode_rejected_at_decode(self):
+        with pytest.raises(VMInvalidProgram):
+            Instruction.from_pair([250, -1])
+
+    def test_malformed_instruction_pair_rejected(self):
+        with pytest.raises(VMInvalidProgram):
+            Instruction.from_pair([1, 2, 3])
+
+
+@given(st.integers(min_value=0, max_value=30))
+def test_compiled_kernels_always_verify(n):
+    # Property: whatever the compiler emits passes its own verifier.
+    source = f"""
+    func main() -> int {{
+        var total: int = 0;
+        for (var i: int = 0; i < {n}; i = i + 1) {{
+            if (i % 3 == 0) {{ total = total + i; }}
+        }}
+        return total;
+    }}
+    """
+    program = compile_source(source)
+    program.verify()
+    result, _ = execute(program)
+    assert result == sum(i for i in range(n) if i % 3 == 0)
+
+
+def test_malformed_program_dict_rejected():
+    with pytest.raises(VMInvalidProgram):
+        CompiledProgram.from_dict({"version": BYTECODE_VERSION})

@@ -1,0 +1,47 @@
+"""Disassembler output format details."""
+
+from repro.tvm.compiler import compile_source
+from repro.tvm.disassembler import disassemble, disassemble_function
+
+
+def test_constants_section_lists_pool():
+    program = compile_source('func main() -> string { return "hi"; }')
+    text = disassemble(program)
+    assert text.startswith(".constants")
+    assert "'hi'" in text
+
+
+def test_jump_targets_are_marked():
+    program = compile_source(
+        "func main(b: bool) -> int { if (b) { return 1; } return 2; }"
+    )
+    lines = disassemble(program).splitlines()
+    marked = [line for line in lines if line.startswith("L")]
+    assert marked, "expected at least one jump-target marker"
+
+
+def test_void_functions_labelled():
+    program = compile_source("func main() { }")
+    text = disassemble(program)
+    assert "returns=void" in text
+
+
+def test_function_listing_ends_with_end():
+    program = compile_source("func main() -> int { return 1; }")
+    lines = disassemble_function(program, program.function("main"))
+    assert lines[0].startswith(".func main")
+    assert lines[-1] == ".end"
+
+
+def test_builtin_annotation_includes_arity():
+    program = compile_source("func main() -> array { return array(3, 7); }")
+    text = disassemble(program)
+    assert "array/2" in text
+
+
+def test_call_annotation_names_target():
+    program = compile_source(
+        "func target() -> int { return 1; } "
+        "func main() -> int { return target(); }"
+    )
+    assert "; target" in disassemble(program)

@@ -1,0 +1,99 @@
+"""Front-end robustness: arbitrary input never crashes the toolchain.
+
+The compiler pipeline's contract is: for ANY input text it either returns
+a verified program or raises a :class:`LanguageError` subclass with a
+position.  Hypothesis hunts for inputs that violate that (e.g. an
+``IndexError`` escaping the lexer, an unverifiable program escaping the
+compiler).
+"""
+
+import string
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.common.errors import LanguageError, TaskletError
+from repro.tvm.compiler import compile_source
+from repro.tvm.lexer import tokenize
+from repro.tvm.parser import parse
+from repro.tvm.vm import VMLimits, execute
+
+# Character soup biased toward language syntax.
+_syntax_soup = st.text(
+    alphabet=string.ascii_letters + string.digits + " \n\t(){}[];:,.+-*/%=<>!&|\"'_",
+    max_size=120,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_syntax_soup)
+@example('func main() -> int { return 1; }')
+@example('func f({')
+@example('"unterminated')
+@example("/* unterminated")
+@example("func main() -> int { return 1 +; }")
+@example("}{")
+@example("func main() -> int { return ((((((1)))))); }")
+def test_lexer_never_crashes_unexpectedly(text):
+    try:
+        tokens = tokenize(text)
+    except LanguageError:
+        return
+    assert tokens[-1].type.name == "EOF"
+
+
+@settings(max_examples=300, deadline=None)
+@given(_syntax_soup)
+def test_parser_never_crashes_unexpectedly(text):
+    try:
+        parse(text)
+    except LanguageError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(_syntax_soup)
+def test_full_pipeline_compiles_or_raises_language_error(text):
+    try:
+        program = compile_source(text)
+    except LanguageError:
+        return
+    program.verify()  # anything that compiles must verify
+
+
+# Mutate a valid program: the pipeline must stay contract-clean under
+# realistic near-miss inputs (typos, truncation).
+_BASE = (
+    "func helper(n: int) -> int { if (n < 2) { return n; } "
+    "return helper(n - 1) + helper(n - 2); } "
+    "func main(n: int) -> int { var total: int = 0; "
+    "for (var i: int = 0; i < n; i += 1) { total += helper(i % 8); } "
+    "return total; }"
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(_BASE) - 1),
+    st.sampled_from(list(" (){};=+<>x0")),
+)
+def test_single_character_mutations(position, replacement):
+    mutated = _BASE[:position] + replacement + _BASE[position + 1 :]
+    try:
+        program = compile_source(mutated)
+    except LanguageError:
+        return
+    # Mutations that still compile must still run safely (or fail with a
+    # proper VM error), never crash the host.
+    try:
+        execute(program, "main", [6], limits=VMLimits(fuel=200_000))
+    except TaskletError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=len(_BASE) - 1))
+def test_truncations(cut):
+    try:
+        compile_source(_BASE[:cut])
+    except LanguageError:
+        pass

@@ -1,0 +1,84 @@
+"""Standard kernels vs their Python reference implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import execute
+
+_COMPILED = {}
+
+
+def compiled(name):
+    if name not in _COMPILED:
+        _COMPILED[name] = compile_source(kernels.ALL_KERNELS[name])
+    return _COMPILED[name]
+
+
+def test_all_kernels_compile_and_verify():
+    for name in kernels.ALL_KERNELS:
+        compiled(name).verify()
+
+
+@given(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=48),
+    st.integers(min_value=1, max_value=48),
+    st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=20, deadline=None)
+def test_mandelbrot_matches_reference(y, width, height, max_iter):
+    tvm_row, _ = execute(compiled("mandelbrot_row"), "main", [y, width, height, max_iter])
+    assert tvm_row == kernels.python_mandelbrot_row(y, width, height, max_iter)
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers())
+@settings(max_examples=15, deadline=None)
+def test_matmul_matches_reference(n, seed):
+    import random
+
+    rng = random.Random(seed)
+    a = [rng.uniform(-2, 2) for _ in range(n * n)]
+    b = [rng.uniform(-2, 2) for _ in range(n * n)]
+    tvm_c, _ = execute(compiled("matmul_tile"), "main", [a, b, n])
+    assert tvm_c == kernels.python_matmul_tile(a, b, n)
+
+
+@given(st.integers(min_value=0, max_value=18))
+@settings(max_examples=19, deadline=None)
+def test_fibonacci_matches_reference(n):
+    result, _ = execute(compiled("fibonacci"), "main", [n])
+    assert result == kernels.python_fibonacci(n)
+
+
+@given(st.integers(min_value=0, max_value=2000))
+@settings(max_examples=20, deadline=None)
+def test_prime_count_matches_reference(limit):
+    result, _ = execute(compiled("prime_count"), "main", [limit])
+    assert result == kernels.python_prime_count(limit)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    st.floats(min_value=5.0, max_value=10.0, allow_nan=False),
+    st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=15, deadline=None)
+def test_integration_matches_reference(lo, hi, steps):
+    result, _ = execute(compiled("numeric_integration"), "main", [lo, hi, steps])
+    expected = kernels.python_numeric_integration(lo, hi, steps)
+    assert result == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80))
+@settings(max_examples=25, deadline=None)
+def test_word_histogram_matches_reference(text):
+    result, _ = execute(compiled("word_histogram"), "main", [text])
+    assert result == kernels.python_word_histogram(text)
+
+
+def test_monte_carlo_converges_roughly_to_pi():
+    hits, _ = execute(compiled("monte_carlo_pi"), "main", [20000], seed=11)
+    estimate = 4.0 * hits / 20000
+    assert abs(estimate - 3.14159) < 0.1

@@ -1,0 +1,126 @@
+"""Lexer: literals, operators, comments, positions, error cases."""
+
+import pytest
+
+from repro.common.errors import LexerError
+from repro.tvm.lexer import tokenize
+from repro.tvm.tokens import TokenType
+
+
+def types_of(source):
+    return [token.type for token in tokenize(source)][:-1]  # strip EOF
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_integer_literal():
+    token = tokenize("42")[0]
+    assert token.type is TokenType.INT
+    assert token.value == 42
+
+
+def test_float_literal_forms():
+    for text, value in (("3.5", 3.5), ("0.25", 0.25), ("1e3", 1000.0),
+                        ("2.5e-2", 0.025), ("1E+2", 100.0)):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.FLOAT, text
+        assert token.value == pytest.approx(value)
+
+
+def test_integer_followed_by_method_like_dot_is_not_float():
+    # "1." without a digit after the dot: INT then error (no '.' token).
+    with pytest.raises(LexerError):
+        tokenize("1.")
+
+
+def test_string_literal_with_escapes():
+    token = tokenize(r'"a\nb\t\"q\\"')[0]
+    assert token.type is TokenType.STRING
+    assert token.value == 'a\nb\t"q\\'
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexerError):
+        tokenize('"unterminated')
+
+
+def test_newline_in_string_rejected():
+    with pytest.raises(LexerError):
+        tokenize('"line\nbreak"')
+
+
+def test_bad_escape_rejected():
+    with pytest.raises(LexerError):
+        tokenize(r'"\q"')
+
+
+def test_keywords_vs_identifiers():
+    kinds = types_of("func fun while whilex")
+    assert kinds == [
+        TokenType.FUNC,
+        TokenType.IDENT,
+        TokenType.WHILE,
+        TokenType.IDENT,
+    ]
+
+
+def test_bool_literals_carry_python_bools():
+    tokens = tokenize("true false")
+    assert tokens[0].value is True
+    assert tokens[1].value is False
+
+
+def test_two_char_operators_win_over_one_char():
+    kinds = types_of("== = <= < -> -")
+    assert kinds == [
+        TokenType.EQ,
+        TokenType.ASSIGN,
+        TokenType.LE,
+        TokenType.LT,
+        TokenType.ARROW,
+        TokenType.MINUS,
+    ]
+
+
+def test_all_punctuation():
+    kinds = types_of("( ) { } [ ] , ; : + - * / % ! && ||")
+    assert TokenType.AND in kinds and TokenType.OR in kinds
+    assert len(kinds) == 17
+
+
+def test_line_comments_are_skipped():
+    kinds = types_of("1 // comment with * and /\n2")
+    assert kinds == [TokenType.INT, TokenType.INT]
+
+
+def test_block_comments_are_skipped_including_newlines():
+    kinds = types_of("1 /* multi\nline */ 2")
+    assert kinds == [TokenType.INT, TokenType.INT]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexerError):
+        tokenize("1 /* never closed")
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("a\n  bb")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unknown_character_reports_position():
+    with pytest.raises(LexerError) as info:
+        tokenize("x = @")
+    assert info.value.line == 1
+    assert info.value.column == 5
+
+
+def test_identifiers_allow_underscores_and_digits():
+    token = tokenize("_private_2x")[0]
+    assert token.type is TokenType.IDENT
+    assert token.value == "_private_2x"

@@ -1,0 +1,187 @@
+"""Parser: declarations, statements, expression precedence, errors."""
+
+import pytest
+
+from repro.common.errors import ParserError
+from repro.tvm import ast_nodes as ast
+from repro.tvm.lang_types import LangType
+from repro.tvm.parser import parse
+
+
+def parse_main(body: str, signature: str = "() -> int") -> ast.FunctionDecl:
+    return parse(f"func main{signature} {{ {body} }}").functions[0]
+
+
+def first_expr(body: str) -> ast.Expr:
+    statement = parse_main(f"return {body};").body.statements[0]
+    assert isinstance(statement, ast.Return)
+    return statement.value
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        function = parse(
+            "func f(a: int, b: float) -> array { return [a]; }"
+        ).functions[0]
+        assert function.name == "f"
+        assert [p.name for p in function.params] == ["a", "b"]
+        assert [p.declared_type for p in function.params] == [
+            LangType.INT,
+            LangType.FLOAT,
+        ]
+        assert function.return_type is LangType.ARRAY
+
+    def test_void_function_without_arrow(self):
+        function = parse("func f() { return; }").functions[0]
+        assert function.return_type is LangType.VOID
+
+    def test_multiple_functions(self):
+        program = parse("func a() {} func b() {}")
+        assert [f.name for f in program.functions] == ["a", "b"]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParserError):
+            parse("")
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(ParserError):
+            parse("func f(x: void) {}")
+
+    def test_missing_parameter_type_rejected(self):
+        with pytest.raises(ParserError):
+            parse("func f(x) {}")
+
+    def test_garbage_after_function_rejected(self):
+        with pytest.raises(ParserError):
+            parse("func f() {} xyz")
+
+
+class TestStatements:
+    def test_var_requires_initialiser(self):
+        with pytest.raises(ParserError):
+            parse_main("var x: int;")
+
+    def test_var_decl_shape(self):
+        decl = parse_main("var x: float = 1.5; return 0;").body.statements[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.name == "x"
+        assert decl.declared_type is LangType.FLOAT
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(ParserError):
+            parse_main("var x: void = 0;")
+
+    def test_assignment_and_index_assignment(self):
+        function = parse_main(
+            "var a: array = [1]; a[0] = 2; var x: int = 0; x = 3; return x;"
+        )
+        kinds = [type(s) for s in function.body.statements]
+        assert kinds == [ast.VarDecl, ast.IndexAssign, ast.VarDecl, ast.Assign, ast.Return]
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ParserError):
+            parse_main("1 + 2 = 3;")
+
+    def test_if_else_if_chain(self):
+        statement = parse_main(
+            "if (true) { return 1; } else if (false) { return 2; } "
+            "else { return 3; }"
+        ).body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.else_branch, ast.If)
+        assert isinstance(statement.else_branch.else_branch, ast.Block)
+
+    def test_while_and_for(self):
+        function = parse_main(
+            "while (true) { break; } "
+            "for (var i: int = 0; i < 3; i = i + 1) { continue; } return 0;"
+        )
+        assert isinstance(function.body.statements[0], ast.While)
+        loop = function.body.statements[1]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert loop.condition is not None
+        assert isinstance(loop.step, ast.Assign)
+
+    def test_for_with_empty_clauses(self):
+        loop = parse_main("for (;;) { break; } return 0;").body.statements[0]
+        assert loop.init is None and loop.condition is None and loop.step is None
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParserError):
+            parse_main("var x: int = 1 return x;")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParserError):
+            parse("func f() { return;")
+
+    def test_nested_block_statement(self):
+        function = parse_main("{ var x: int = 1; } return 0;")
+        assert isinstance(function.body.statements[0], ast.Block)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = first_expr("1 < 2 && 3 < 4")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_or_binds_weaker_than_and(self):
+        expr = first_expr("true || false && false")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = first_expr("10 - 3 - 2")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_parentheses_override(self):
+        expr = first_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_chains(self):
+        expr = first_expr("--1")
+        assert isinstance(expr, ast.Unary) and isinstance(expr.operand, ast.Unary)
+
+    def test_call_and_index_postfix(self):
+        expr = first_expr("f(1)[2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Call)
+
+    def test_array_literal(self):
+        expr = first_expr("[1, 2.5, true]")
+        assert isinstance(expr, ast.ArrayLiteral)
+        assert len(expr.elements) == 3
+
+    def test_empty_array_literal(self):
+        expr = first_expr("[]")
+        assert isinstance(expr, ast.ArrayLiteral)
+        assert expr.elements == []
+
+    def test_conversion_keywords_parse_as_calls(self):
+        for text, callee in (("int(1.5)", "int"), ("float(2)", "float"),
+                             ("string(3)", "str"), ("array(4)", "array")):
+            expr = first_expr(text)
+            assert isinstance(expr, ast.Call)
+            assert expr.callee == callee
+
+    def test_calling_non_name_rejected(self):
+        with pytest.raises(ParserError):
+            first_expr("(1 + 2)(3)")
+
+    def test_unexpected_token_in_expression(self):
+        with pytest.raises(ParserError):
+            first_expr("1 + ;")
+
+    def test_error_position_points_at_offender(self):
+        with pytest.raises(ParserError) as info:
+            parse("func f() {\n  var x: int = ;\n}")
+        assert info.value.line == 2

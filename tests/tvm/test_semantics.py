@@ -1,0 +1,227 @@
+"""Semantic analysis: types, scopes, slots, return paths, loop keywords."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.tvm import ast_nodes as ast
+from repro.tvm.lang_types import LangType
+from repro.tvm.parser import parse
+from repro.tvm.semantics import analyze
+
+
+def check(source: str) -> ast.Program:
+    return analyze(parse(source))
+
+
+def check_main(body: str, signature: str = "() -> int") -> ast.FunctionDecl:
+    return check(f"func main{signature} {{ {body} }}").functions[0]
+
+
+def expect_error(source: str, fragment: str):
+    with pytest.raises(SemanticError) as info:
+        check(source)
+    assert fragment in str(info.value), str(info.value)
+
+
+class TestDeclarations:
+    def test_duplicate_function_rejected(self):
+        expect_error("func f() {} func f() {}", "duplicate function")
+
+    def test_builtin_shadowing_rejected(self):
+        expect_error("func sqrt(x: float) -> float { return x; }", "shadows a builtin")
+
+    def test_duplicate_parameter_rejected(self):
+        expect_error("func f(a: int, a: int) {}", "duplicate parameter")
+
+    def test_duplicate_variable_in_scope_rejected(self):
+        expect_error(
+            "func f() { var x: int = 1; var x: int = 2; }", "duplicate variable"
+        )
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check("func f() { var x: int = 1; { var x: float = 2.0; } }")
+
+    def test_inner_declaration_not_visible_outside(self):
+        expect_error(
+            "func f() -> int { { var x: int = 1; } return x; }", "undeclared"
+        )
+
+
+class TestSlots:
+    def test_params_then_locals_get_sequential_slots(self):
+        function = check(
+            "func f(a: int, b: int) -> int { var c: int = 0; return a + b + c; }"
+        ).functions[0]
+        assert function.n_locals == 3
+        declaration = function.body.statements[0]
+        assert declaration.slot == 2
+
+    def test_name_slots_resolve_to_declaration(self):
+        function = check_main("var x: int = 5; return x;")
+        declaration, return_statement = function.body.statements
+        assert return_statement.value.slot == declaration.slot
+
+    def test_each_loop_iteration_variable_gets_its_own_slot(self):
+        function = check_main(
+            "var total: int = 0;"
+            "for (var i: int = 0; i < 2; i = i + 1) { total = total + i; }"
+            "for (var j: int = 0; j < 2; j = j + 1) { total = total + j; }"
+            "return total;"
+        )
+        assert function.n_locals == 3  # total, i, j
+
+
+class TestTypes:
+    def test_int_to_float_widening_allowed(self):
+        check("func f() { var x: float = 1; }")
+
+    def test_float_to_int_narrowing_rejected(self):
+        expect_error("func f() { var x: int = 1.5; }", "cannot initialise")
+
+    def test_assignment_type_mismatch_rejected(self):
+        expect_error(
+            "func f() { var x: int = 1; x = \"s\"; }", "cannot assign"
+        )
+
+    def test_arithmetic_requires_numbers(self):
+        expect_error("func f() -> int { return 1 + true; }", "cannot combine")
+
+    def test_string_concatenation_allowed(self):
+        function = check_main('return "a" + "b";', signature="() -> string")
+        assert function.body.statements[0].value.expr_type is LangType.STRING
+
+    def test_array_concatenation_allowed(self):
+        check("func f() -> array { return [1] + [2]; }")
+
+    def test_string_plus_int_rejected(self):
+        expect_error('func f() -> string { return "a" + 1; }', "cannot combine")
+
+    def test_mixed_arithmetic_promotes_to_float(self):
+        function = check_main("return 1 + 2.5;", signature="() -> float")
+        assert function.body.statements[0].value.expr_type is LangType.FLOAT
+
+    def test_condition_must_be_bool(self):
+        expect_error("func f() { if (1) {} }", "condition must be bool")
+
+    def test_logical_ops_require_bools(self):
+        expect_error("func f() -> bool { return 1 && true; }", "needs bool")
+
+    def test_not_requires_bool(self):
+        expect_error("func f() -> bool { return !3; }", "needs a bool")
+
+    def test_unary_minus_requires_number(self):
+        expect_error("func f() -> int { return -true; }", "numeric operand")
+
+    def test_comparing_incompatible_types_rejected(self):
+        expect_error('func f() -> bool { return 1 == "one"; }', "cannot compare")
+
+    def test_ordering_strings_allowed(self):
+        check('func f() -> bool { return "a" < "b"; }')
+
+    def test_ordering_bools_rejected(self):
+        expect_error("func f() -> bool { return true < false; }", "cannot order")
+
+    def test_index_must_be_int(self):
+        expect_error(
+            "func f(a: array) -> int { return int(a[1.5]); }", "index must be int"
+        )
+
+    def test_indexing_non_indexable_rejected(self):
+        expect_error("func f() -> int { return 3[0]; }", "cannot index")
+
+    def test_array_element_is_any_and_flows_everywhere(self):
+        # a[i] has type ANY: accepted by arithmetic, conditions need cast.
+        check("func f(a: array) -> float { return float(a[0]) * 2.0; }")
+        check("func f(a: array) -> int { return a[0] + 1; }")
+
+    def test_string_index_yields_string(self):
+        function = check_main(
+            'var s: string = "abc"; return s[0];', signature="() -> string"
+        )
+        assert function.body.statements[1].value.expr_type is LangType.STRING
+
+    def test_index_assign_into_non_array_rejected(self):
+        expect_error('func f() { var s: int = 1; s[0] = 2; }', "cannot index-assign")
+
+
+class TestCalls:
+    def test_user_function_call_checked(self):
+        check("func g(x: int) -> int { return x; } func f() -> int { return g(1); }")
+
+    def test_wrong_arity_rejected(self):
+        expect_error(
+            "func g(x: int) -> int { return x; } func f() -> int { return g(); }",
+            "expects 1",
+        )
+
+    def test_wrong_argument_type_rejected(self):
+        expect_error(
+            "func g(x: int) -> int { return x; } "
+            'func f() -> int { return g("s"); }',
+            "expects int",
+        )
+
+    def test_unknown_function_rejected(self):
+        expect_error("func f() -> int { return nosuch(1); }", "unknown function")
+
+    def test_builtin_arity_checked(self):
+        expect_error("func f() -> float { return sqrt(); }", "expects 1")
+
+    def test_builtin_type_checked(self):
+        expect_error('func f() -> float { return sqrt("x"); }', "numeric")
+
+    def test_builtin_flag_set(self):
+        function = check_main("return len([1]);")
+        call = function.body.statements[0].value
+        assert call.is_builtin is True
+
+    def test_void_function_result_cannot_initialise(self):
+        expect_error(
+            "func g() {} func f() { var x: int = g(); }", "cannot initialise"
+        )
+
+
+class TestReturnPaths:
+    def test_missing_return_rejected(self):
+        expect_error("func f() -> int { var x: int = 1; }", "must return")
+
+    def test_return_in_both_branches_accepted(self):
+        check(
+            "func f(c: bool) -> int { if (c) { return 1; } else { return 2; } }"
+        )
+
+    def test_return_only_in_then_rejected(self):
+        expect_error(
+            "func f(c: bool) -> int { if (c) { return 1; } }", "must return"
+        )
+
+    def test_return_inside_while_is_not_guaranteed(self):
+        expect_error(
+            "func f() -> int { while (true) { return 1; } }", "must return"
+        )
+
+    def test_void_function_may_fall_off_end(self):
+        check("func f() { var x: int = 1; }")
+
+    def test_void_return_with_value_rejected(self):
+        expect_error("func f() { return 1; }", "cannot return a value")
+
+    def test_value_return_without_value_rejected(self):
+        expect_error("func f() -> int { return; }", "must return int")
+
+    def test_return_type_mismatch_rejected(self):
+        expect_error('func f() -> int { return "s"; }', "return type mismatch")
+
+    def test_return_widening_allowed(self):
+        check("func f() -> float { return 1; }")
+
+
+class TestLoopKeywords:
+    def test_break_outside_loop_rejected(self):
+        expect_error("func f() { break; }", "outside of a loop")
+
+    def test_continue_outside_loop_rejected(self):
+        expect_error("func f() { continue; }", "outside of a loop")
+
+    def test_break_inside_nested_if_in_loop_accepted(self):
+        check("func f() { while (true) { if (true) { break; } } }")

@@ -1,0 +1,160 @@
+"""VM arithmetic semantics, including property tests against a C oracle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import VMDivisionByZero, VMTypeError
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import execute
+
+
+def run(expr: str, result_type: str = "int", **params):
+    signature = ", ".join(f"{name}: {'float' if isinstance(v, float) else 'int'}"
+                          for name, v in params.items())
+    program = compile_source(
+        f"func main({signature}) -> {result_type} {{ return {expr}; }}"
+    )
+    value, _ = execute(program, "main", list(params.values()))
+    return value
+
+
+ints = st.integers(min_value=-(10**9), max_value=10**9)
+small_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestIntSemantics:
+    @given(ints, ints)
+    def test_add_sub_mul(self, a, b):
+        assert run("a + b", a=a, b=b) == a + b
+        assert run("a - b", a=a, b=b) == a - b
+        assert run("a * b", a=a, b=b) == a * b
+
+    @given(ints, ints.filter(lambda b: b != 0))
+    def test_division_truncates_toward_zero(self, a, b):
+        # C semantics, not Python floor division.
+        expected = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            expected = -expected
+        assert run("a / b", a=a, b=b) == expected
+
+    @given(ints, ints.filter(lambda b: b != 0))
+    def test_modulo_has_dividend_sign(self, a, b):
+        remainder = run("a % b", a=a, b=b)
+        quotient = run("a / b", a=a, b=b)
+        assert quotient * b + remainder == a  # the C identity
+        if remainder != 0:
+            assert (remainder > 0) == (a > 0)
+
+    def test_specific_truncation_cases(self):
+        assert run("a / b", a=-7, b=2) == -3  # Python would say -4
+        assert run("a % b", a=-7, b=2) == -1  # Python would say 1
+        assert run("a / b", a=7, b=-2) == -3
+        assert run("a % b", a=7, b=-2) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(VMDivisionByZero):
+            run("a / b", a=1, b=0)
+        with pytest.raises(VMDivisionByZero):
+            run("a % b", a=1, b=0)
+
+    @given(ints)
+    def test_negation(self, a):
+        assert run("-a", a=a) == -a
+
+    def test_int_arithmetic_is_arbitrary_precision(self):
+        # The TVM inherits Python ints: no silent 32/64-bit wraparound.
+        big = 2**40
+        assert run("a * a", a=big) == big * big
+
+
+class TestFloatSemantics:
+    @given(small_floats, small_floats)
+    def test_add_matches_ieee(self, a, b):
+        assert run("a + b", "float", a=a, b=b) == a + b
+
+    @given(small_floats, small_floats.filter(lambda b: abs(b) > 1e-9))
+    def test_true_division_for_floats(self, a, b):
+        assert run("a / b", "float", a=a, b=b) == a / b
+
+    @given(ints, small_floats)
+    def test_mixed_arithmetic_promotes(self, a, b):
+        assert run("a + b", "float", a=a, b=b) == a + b
+
+    def test_float_division_by_zero_raises(self):
+        # Unlike IEEE silent inf: an error, so replicas can't diverge on
+        # inf/nan propagation subtleties.
+        with pytest.raises(VMDivisionByZero):
+            run("a / b", "float", a=1.0, b=0.0)
+
+    def test_float_modulo(self):
+        assert run("a % b", "float", a=7.5, b=2.0) == pytest.approx(1.5)
+
+
+class TestComparisons:
+    @given(ints, ints)
+    def test_int_orderings(self, a, b):
+        assert run("a < b", "bool", a=a, b=b) == (a < b)
+        assert run("a <= b", "bool", a=a, b=b) == (a <= b)
+        assert run("a > b", "bool", a=a, b=b) == (a > b)
+        assert run("a >= b", "bool", a=a, b=b) == (a >= b)
+        assert run("a == b", "bool", a=a, b=b) == (a == b)
+        assert run("a != b", "bool", a=a, b=b) == (a != b)
+
+    @given(ints, small_floats)
+    def test_cross_type_numeric_equality(self, a, b):
+        assert run("a == b", "bool", a=a, b=b) == (a == b)
+
+    def test_string_ordering(self):
+        program = compile_source(
+            'func main() -> bool { return "apple" < "banana"; }'
+        )
+        assert execute(program)[0] is True
+
+    def test_bool_never_equals_int(self):
+        program = compile_source(
+            "func main(xs: array) -> bool { return xs[0] == xs[1]; }"
+        )
+        assert execute(program, "main", [[True, 1]])[0] is False
+
+    def test_string_never_equals_number(self):
+        program = compile_source(
+            "func main(xs: array) -> bool { return xs[0] == xs[1]; }"
+        )
+        assert execute(program, "main", [["1", 1]])[0] is False
+
+    def test_array_equality_is_structural(self):
+        program = compile_source(
+            "func main(xs: array, ys: array) -> bool { return xs == ys; }"
+        )
+        assert execute(program, "main", [[1, [2, 3]], [1, [2, 3]]])[0] is True
+        assert execute(program, "main", [[1, 2], [1, 3]])[0] is False
+
+
+class TestTypeErrors:
+    def test_adding_string_and_int_via_any(self):
+        program = compile_source(
+            "func main(xs: array) -> int { return xs[0] + 1; }"
+        )
+        with pytest.raises(VMTypeError):
+            execute(program, "main", [["s"]])
+
+    def test_ordering_mixed_via_any(self):
+        program = compile_source(
+            "func main(xs: array) -> bool { return xs[0] < xs[1]; }"
+        )
+        with pytest.raises(VMTypeError):
+            execute(program, "main", [["a", 1]])
+
+    def test_bool_arithmetic_rejected_at_runtime(self):
+        program = compile_source(
+            "func main(xs: array) -> int { return xs[0] * 2; }"
+        )
+        with pytest.raises(VMTypeError):
+            execute(program, "main", [[True]])
+
+    def test_negating_bool_via_any(self):
+        program = compile_source("func main(xs: array) -> int { return -xs[0]; }")
+        with pytest.raises(VMTypeError):
+            execute(program, "main", [[True]])

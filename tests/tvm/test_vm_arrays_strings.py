@@ -1,0 +1,166 @@
+"""VM arrays and strings: indexing, mutation, aliasing, bounds."""
+
+import pytest
+
+from repro.common.errors import VMIndexError, VMTypeError
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import execute
+
+
+def run_main(source: str, args=None):
+    return execute(compile_source(source), "main", args or [])[0]
+
+
+def test_array_literal_and_indexing():
+    assert run_main("func main() -> int { return int([10, 20, 30][1]); }") == 20
+
+
+def test_array_store_and_load():
+    value = run_main(
+        """
+        func main() -> array {
+            var xs: array = array(3);
+            xs[0] = 1; xs[1] = 2; xs[2] = xs[0] + xs[1];
+            return xs;
+        }
+        """
+    )
+    assert value == [1, 2, 3]
+
+
+def test_array_fill_value():
+    assert run_main("func main() -> array { return array(3, 7); }") == [7, 7, 7]
+
+
+def test_nested_arrays():
+    value = run_main(
+        """
+        func main() -> array {
+            var grid: array = [array(2), array(2)];
+            var row: array = grid[0];
+            row[0] = 5;
+            return grid;
+        }
+        """
+    )
+    assert value == [[5, 0], [0, 0]]
+
+
+def test_arrays_alias_within_execution():
+    value = run_main(
+        """
+        func main() -> array {
+            var a: array = [1, 2];
+            var b: array = a;
+            b[0] = 99;
+            return a;
+        }
+        """
+    )
+    assert value == [99, 2]
+
+
+def test_array_concat_copies():
+    value = run_main(
+        """
+        func main() -> array {
+            var a: array = [1];
+            var b: array = a + [2];
+            b[0] = 9;
+            return a + b;
+        }
+        """
+    )
+    assert value == [1, 9, 2]
+
+
+def test_push_and_pop():
+    value = run_main(
+        """
+        func main() -> array {
+            var xs: array = [];
+            push(xs, 1);
+            push(xs, 2);
+            push(xs, 3);
+            var last: float = float(pop(xs));
+            return xs + [last];
+        }
+        """
+    )
+    assert value == [1, 2, 3.0]
+
+
+def test_len_on_arrays_and_strings():
+    assert run_main('func main() -> int { return len([1,2]) + len("abc"); }') == 5
+
+
+def test_out_of_bounds_read():
+    with pytest.raises(VMIndexError):
+        run_main("func main() -> int { return int([1][5]); }")
+
+
+def test_negative_index_rejected():
+    # No Python-style negative indexing: portability demands C semantics.
+    with pytest.raises(VMIndexError):
+        run_main("func main(i: int) -> int { return int([1, 2][i]); }", [-1])
+
+
+def test_out_of_bounds_write():
+    with pytest.raises(VMIndexError):
+        run_main("func main() { var a: array = [1]; a[1] = 2; }")
+
+
+def test_string_indexing_yields_single_char():
+    assert run_main('func main() -> string { return "hello"[1]; }') == "e"
+
+
+def test_string_index_out_of_bounds():
+    with pytest.raises(VMIndexError):
+        run_main('func main() -> string { return "hi"[2]; }')
+
+
+def test_string_index_assign_rejected_statically():
+    from repro.common.errors import SemanticError
+
+    with pytest.raises(SemanticError):
+        run_main('func main() { var s: string = "ab"; s[0] = "c"; }')
+
+
+def test_strings_are_immutable_at_runtime_via_any():
+    # Through an array element the base type is only known at runtime.
+    with pytest.raises(VMTypeError):
+        run_main('func main(xs: array) { xs[0][0] = "c"; }', [["ab"]])
+
+
+def test_string_concat_and_str():
+    assert (
+        run_main('func main() -> string { return "n=" + str(42); }') == "n=42"
+    )
+
+
+def test_substr():
+    assert run_main('func main() -> string { return substr("hello", 1, 4); }') == "ell"
+
+
+def test_substr_bad_bounds():
+    from repro.common.errors import VMError
+
+    with pytest.raises(VMError):
+        run_main('func main() -> string { return substr("hi", 0, 5); }')
+
+
+def test_str_of_float_is_precise():
+    # repr-style formatting: round-trips through float().
+    assert run_main('func main() -> string { return str(0.1); }') == "0.1"
+
+
+def test_str_of_bool_is_lang_spelling():
+    assert run_main('func main() -> string { return str(true); }') == "true"
+
+
+def test_array_of_mixed_values_roundtrips():
+    value = run_main('func main() -> array { return [1, 2.5, "x", true, [0]]; }')
+    assert value == [1, 2.5, "x", True, [0]]
+    assert type(value[0]) is int
+    assert type(value[1]) is float
+    assert value[3] is True

@@ -1,0 +1,138 @@
+"""Builtins: math semantics, conversions, RNG determinism, domain errors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import VMError, VMTypeError
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import execute
+
+
+def call(expr: str, result_type: str = "float", args_decl: str = "", args=None):
+    program = compile_source(
+        f"func main({args_decl}) -> {result_type} {{ return {expr}; }}"
+    )
+    return execute(program, "main", args or [])[0]
+
+
+small_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMath:
+    @given(small_floats)
+    def test_trig_matches_math_module(self, x):
+        assert call("sin(x)", args_decl="x: float", args=[x]) == math.sin(x)
+        assert call("cos(x)", args_decl="x: float", args=[x]) == math.cos(x)
+
+    @given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+    def test_sqrt_matches(self, x):
+        assert call("sqrt(x)", args_decl="x: float", args=[x]) == math.sqrt(x)
+
+    def test_sqrt_domain_error(self):
+        with pytest.raises(VMError):
+            call("sqrt(0.0 - 1.0)")
+
+    def test_log_and_exp(self):
+        assert call("log(exp(2.0))") == pytest.approx(2.0)
+
+    def test_log_domain_error(self):
+        with pytest.raises(VMError):
+            call("log(0.0)")
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_abs_int_preserves_type(self, x):
+        value = call("abs(x)", "int", "x: int", [x])
+        assert value == abs(x)
+        assert type(value) is int
+
+    def test_min_max_polymorphism(self):
+        assert call("min(2, 3)", "int") == 2
+        assert call("max(2.5, 3)", "float") == 3
+        assert type(call("min(2, 3)", "int")) is int
+
+    def test_floor_ceil_return_ints(self):
+        assert call("floor(2.7)", "int") == 2
+        assert call("ceil(2.1)", "int") == 3
+        assert type(call("floor(2.7)", "int")) is int
+
+    def test_pow(self):
+        assert call("pow(2.0, 10.0)") == 1024.0
+
+
+class TestConversions:
+    def test_int_truncates(self):
+        assert call("int(2.9)", "int") == 2
+        assert call("int(0.0 - 2.9)", "int") == -2
+
+    def test_int_parses_strings(self):
+        assert call('int(" 42 ")', "int") == 42
+
+    def test_int_parse_failure(self):
+        with pytest.raises(VMError):
+            call('int("nope")', "int")
+
+    def test_float_of_int_and_string(self):
+        assert call("float(3)") == 3.0
+        assert call('float("2.5")') == 2.5
+
+    def test_str_roundtrip_examples(self):
+        assert call("str(12)", "string") == "12"
+        assert call("str(1.5)", "string") == "1.5"
+        assert call("str(false)", "string") == "false"
+
+
+class TestRandom:
+    def test_rand_is_deterministic_per_seed(self):
+        program = compile_source(
+            """
+            func main() -> array {
+                var xs: array = array(4);
+                for (var i: int = 0; i < 4; i = i + 1) { xs[i] = rand(); }
+                return xs;
+            }
+            """
+        )
+        first, _ = execute(program, seed=123)
+        second, _ = execute(program, seed=123)
+        third, _ = execute(program, seed=124)
+        assert first == second
+        assert first != third
+        assert all(0.0 <= x < 1.0 for x in first)
+
+    def test_rand_int_bounds_inclusive(self):
+        program = compile_source(
+            """
+            func main() -> array {
+                var xs: array = array(50);
+                for (var i: int = 0; i < 50; i = i + 1) { xs[i] = rand_int(1, 3); }
+                return xs;
+            }
+            """
+        )
+        values, _ = execute(program, seed=5)
+        assert set(values) <= {1, 2, 3}
+        assert len(set(values)) > 1
+
+    def test_rand_int_empty_range(self):
+        with pytest.raises(VMError):
+            call("rand_int(5, 4)", "int")
+
+
+class TestArgumentChecking:
+    def test_builtin_wrong_runtime_type_via_any(self):
+        program = compile_source(
+            "func main(xs: array) -> float { return sqrt(xs[0]); }"
+        )
+        with pytest.raises((VMTypeError, VMError)):
+            execute(program, "main", [["not a number"]])
+
+    def test_len_of_number_via_any(self):
+        program = compile_source(
+            "func main(xs: array) -> int { return len(xs[0]); }"
+        )
+        with pytest.raises((VMTypeError, VMError)):
+            execute(program, "main", [[1]])

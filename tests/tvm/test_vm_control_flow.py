@@ -1,0 +1,183 @@
+"""VM control flow: branches, loops, calls, recursion."""
+
+import pytest
+
+from repro.common.errors import VMError, VMTypeError
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import execute
+
+
+def test_if_else_branches():
+    program = compile_source(
+        """
+        func main(x: int) -> string {
+            if (x > 0) { return "pos"; }
+            else if (x < 0) { return "neg"; }
+            else { return "zero"; }
+        }
+        """
+    )
+    assert execute(program, "main", [5])[0] == "pos"
+    assert execute(program, "main", [-5])[0] == "neg"
+    assert execute(program, "main", [0])[0] == "zero"
+
+
+def test_while_loop_accumulates():
+    program = compile_source(
+        """
+        func main(n: int) -> int {
+            var total: int = 0;
+            var i: int = 1;
+            while (i <= n) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+    )
+    assert execute(program, "main", [100])[0] == 5050
+
+
+def test_for_loop_with_all_clauses():
+    program = compile_source(
+        """
+        func main(n: int) -> int {
+            var product: int = 1;
+            for (var i: int = 1; i <= n; i = i + 1) { product = product * i; }
+            return product;
+        }
+        """
+    )
+    assert execute(program, "main", [6])[0] == 720
+
+
+def test_loop_variable_scoped_to_loop():
+    # Two loops reusing the same variable name compile cleanly.
+    program = compile_source(
+        """
+        func main() -> int {
+            var total: int = 0;
+            for (var i: int = 0; i < 3; i = i + 1) { total = total + 1; }
+            for (var i: int = 0; i < 4; i = i + 1) { total = total + 1; }
+            return total;
+        }
+        """
+    )
+    assert execute(program, "main")[0] == 7
+
+
+def test_mutual_recursion():
+    program = compile_source(
+        """
+        func is_even(n: int) -> bool {
+            if (n == 0) { return true; }
+            return is_odd(n - 1);
+        }
+        func is_odd(n: int) -> bool {
+            if (n == 0) { return false; }
+            return is_even(n - 1);
+        }
+        func main(n: int) -> bool { return is_even(n); }
+        """
+    )
+    assert execute(program, "main", [10])[0] is True
+    assert execute(program, "main", [7])[0] is False
+
+
+def test_recursion_preserves_caller_locals():
+    program = compile_source(
+        """
+        func fib(n: int) -> int {
+            if (n < 2) { return n; }
+            var left: int = fib(n - 1);
+            var right: int = fib(n - 2);
+            return left + right;
+        }
+        func main(n: int) -> int { return fib(n); }
+        """
+    )
+    assert execute(program, "main", [15])[0] == 610
+
+
+def test_void_function_call_as_statement():
+    program = compile_source(
+        """
+        func noop(a: array) {
+            push(a, 1);
+            return;
+        }
+        func main() -> int {
+            var xs: array = [];
+            noop(xs);
+            noop(xs);
+            return len(xs);
+        }
+        """
+    )
+    # Arrays are passed by reference within one execution.
+    assert execute(program, "main")[0] == 2
+
+
+def test_void_function_implicit_return():
+    program = compile_source(
+        "func noop() { var x: int = 1; } func main() -> int { noop(); return 9; }"
+    )
+    assert execute(program, "main")[0] == 9
+
+
+def test_call_results_feed_expressions():
+    program = compile_source(
+        """
+        func square(x: int) -> int { return x * x; }
+        func main() -> int { return square(3) + square(4); }
+        """
+    )
+    assert execute(program, "main")[0] == 25
+
+
+def test_arguments_evaluated_left_to_right():
+    program = compile_source(
+        """
+        func pair(a: array, first: int, second: int) -> int {
+            push(a, first);
+            push(a, second);
+            return len(a);
+        }
+        func main() -> array {
+            var log: array = [];
+            var trace: array = [];
+            pair(trace, pop_and_log(log, 1), pop_and_log(log, 2));
+            return log;
+        }
+        func pop_and_log(log: array, v: int) -> int {
+            push(log, v);
+            return v;
+        }
+        """
+    )
+    assert execute(program, "main")[0] == [1, 2]
+
+
+def test_entry_arity_mismatch_raises():
+    program = compile_source("func main(a: int) -> int { return a; }")
+    with pytest.raises(VMError):
+        execute(program, "main", [1, 2])
+
+
+def test_unknown_entry_raises():
+    program = compile_source("func main() -> int { return 1; }")
+    with pytest.raises(VMError):
+        execute(program, "nosuch")
+
+
+def test_invalid_argument_value_rejected():
+    program = compile_source("func main(a: int) -> int { return a; }")
+    with pytest.raises(VMTypeError):
+        execute(program, "main", [object()])
+
+
+def test_condition_type_enforced_at_runtime_via_any():
+    program = compile_source(
+        "func main(xs: array) -> int { if (xs[0]) { return 1; } return 0; }"
+    )
+    assert execute(program, "main", [[True]])[0] == 1
+    with pytest.raises(VMTypeError):
+        execute(program, "main", [[1]])  # int is not bool
