@@ -27,6 +27,7 @@ For a real deployment on sockets, swap the simulator for
 
 from .broker import BrokerConfig, BrokerCore, make_strategy
 from .common.errors import (
+    BrokerUnreachable,
     ExecutionFailed,
     QoCUnsatisfiable,
     TaskletError,
@@ -45,6 +46,7 @@ __all__ = [
     "BrokerConfig",
     "BrokerCore",
     "make_strategy",
+    "BrokerUnreachable",
     "ExecutionFailed",
     "QoCUnsatisfiable",
     "TaskletError",

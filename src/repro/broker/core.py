@@ -40,6 +40,7 @@ from ..transport.message import (
     ExecutionResult,
     Heartbeat,
     MessageBody,
+    REASON_UNKNOWN_PROVIDER,
     RegisterAck,
     RegisterProvider,
     SubmitAck,
@@ -238,7 +239,7 @@ class BrokerCore:
             # re-register by rejecting the heartbeat.
             return [
                 self._send(
-                    RegisterAck(accepted=False, reason="unknown provider"),
+                    RegisterAck(accepted=False, reason=REASON_UNKNOWN_PROVIDER),
                     NodeId(body.provider_id),
                 )
             ]
@@ -324,9 +325,15 @@ class BrokerCore:
         chosen = self.strategy.select(views, count, state.qoc)
         out: list[Envelope] = []
         now = self.clock.now()
+        placed = 0
         for provider_id in chosen:
             record = self.registry.get(provider_id)
             if record is None or not record.alive:
+                # Chosen, but the provider died between the registry
+                # snapshot and placement (or a strategy returned a stale
+                # id).  Not counting it as placed routes the replica into
+                # ``missing`` below, so it queues in the backlog instead
+                # of silently vanishing from the attempt budget.
                 continue
             execution_id = self.ids.next_execution()
             record.outstanding += 1
@@ -352,7 +359,7 @@ class BrokerCore:
                     provider_id,
                 )
             )
-        placed = len(out)
+            placed += 1
         missing = count - placed
         if missing > 0:
             queued_total = sum(

@@ -103,6 +103,16 @@ class ConnectionClosed(TransportError):
     """The peer closed the connection while a message was in flight."""
 
 
+class BrokerUnreachable(TransportError):
+    """The connection to the broker was lost with requests outstanding.
+
+    Pending :class:`~repro.core.futures.TaskletFuture`\\ s are failed with
+    this error instead of hanging: the consumer cannot know whether the
+    broker will ever answer, so the submission is reported as undeliverable
+    and the application may resubmit once connectivity returns.
+    """
+
+
 class SchedulingError(TaskletError):
     """The broker could not produce a valid provider assignment."""
 

@@ -47,15 +47,23 @@ class IdGenerator:
         'tl-000001'
         >>> gen.next("node")
         'node-000000'
+
+    An optional ``namespace`` is woven into every id (``"ex-1f3a-000000"``).
+    The TCP broker uses a random namespace per incarnation so that ids
+    never collide across a broker restart — a provider may still be
+    computing an execution the *previous* incarnation assigned, and its
+    late result must not match a fresh id.  The simulator passes no
+    namespace and keeps byte-identical, reproducible ids.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str | None = None) -> None:
         self._counters: dict[str, itertools.count] = {}
+        self._namespace = f"{namespace}-" if namespace else ""
 
     def next(self, prefix: str) -> str:
         """Return the next id for ``prefix``."""
         counter = self._counters.setdefault(prefix, itertools.count())
-        return f"{prefix}-{next(counter):06d}"
+        return f"{prefix}-{self._namespace}{next(counter):06d}"
 
     def next_node(self, kind: str = "node") -> NodeId:
         """Return a fresh :data:`NodeId` (``kind`` defaults to ``node``)."""

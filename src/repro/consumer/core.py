@@ -3,13 +3,19 @@
 Sans-IO like its broker and provider counterparts: ``submit`` produces the
 envelope to send, ``handle`` consumes broker replies and resolves the
 matching :class:`~repro.core.futures.TaskletFuture`.
+
+The future table is guarded by a lock because the real TCP deployment
+drives this core from two threads: the application submits while the
+receive thread resolves (or, on disconnect, fails) pending futures.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..common.clock import Clock
+from ..common.errors import BrokerUnreachable
 from ..common.ids import NodeId, TaskletId
 from ..core.futures import TaskletFuture
 from ..core.results import ExecutionRecord, TaskletResult
@@ -45,6 +51,7 @@ class ConsumerCore:
         self.clock = clock
         self.broker = broker
         self.stats = ConsumerStats()
+        self._lock = threading.Lock()
         self._futures: dict[TaskletId, TaskletFuture] = {}
         self._submitted_at: dict[TaskletId, float] = {}
 
@@ -53,9 +60,10 @@ class ConsumerCore:
     def submit(self, tasklet: Tasklet) -> tuple[TaskletFuture, list[Envelope]]:
         """Register a future for ``tasklet`` and produce the submit message."""
         future = TaskletFuture(tasklet.tasklet_id)
-        self._futures[tasklet.tasklet_id] = future
-        self._submitted_at[tasklet.tasklet_id] = self.clock.now()
-        self.stats.submitted += 1
+        with self._lock:
+            self._futures[tasklet.tasklet_id] = future
+            self._submitted_at[tasklet.tasklet_id] = self.clock.now()
+            self.stats.submitted += 1
         envelope = SubmitTasklet(tasklet=tasklet.to_dict()).envelope(
             src=self.node_id, dst=self.broker
         )
@@ -63,14 +71,41 @@ class ConsumerCore:
 
     def resolve_local(self, tasklet_id: TaskletId, result: TaskletResult) -> None:
         """Resolve a future without broker involvement (local execution)."""
-        future = self._futures.pop(tasklet_id, None)
-        self._submitted_at.pop(tasklet_id, None)
+        with self._lock:
+            future = self._futures.pop(tasklet_id, None)
+            self._submitted_at.pop(tasklet_id, None)
         if future is not None:
             if result.ok:
                 self.stats.completed += 1
             else:
                 self.stats.failed += 1
             future.resolve(result)
+
+    def fail_all_pending(self, reason: str) -> int:
+        """Fail every pending future with :class:`BrokerUnreachable`.
+
+        Called by the transport when the broker connection is lost: a
+        disconnected consumer can never receive ``tasklet_complete``, so
+        waiting callers are woken with a typed error instead of hanging
+        until their timeout.  Returns the number of futures failed.
+        """
+        with self._lock:
+            pending = list(self._futures.items())
+            self._futures.clear()
+            self._submitted_at.clear()
+        now = self.clock.now()
+        for tasklet_id, future in pending:
+            self.stats.failed += 1
+            future.fail(
+                BrokerUnreachable(f"tasklet {tasklet_id}: {reason}"),
+                TaskletResult(
+                    tasklet_id=tasklet_id,
+                    ok=False,
+                    error=f"broker unreachable: {reason}",
+                    completed_at=now,
+                ),
+            )
+        return len(pending)
 
     # -- broker replies ----------------------------------------------------------
 
@@ -88,8 +123,9 @@ class ConsumerCore:
 
     def _on_complete(self, body: TaskletComplete) -> None:
         tasklet_id = TaskletId(body.tasklet_id)
-        future = self._futures.pop(tasklet_id, None)
-        submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+        with self._lock:
+            future = self._futures.pop(tasklet_id, None)
+            submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
         if future is None:
             return  # duplicate completion
         executions = [ExecutionRecord.from_dict(item) for item in body.executions]
@@ -111,8 +147,9 @@ class ConsumerCore:
         future.resolve(result)
 
     def _resolve_failed(self, tasklet_id: TaskletId, reason: str) -> None:
-        future = self._futures.pop(tasklet_id, None)
-        submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+        with self._lock:
+            future = self._futures.pop(tasklet_id, None)
+            submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
         if future is None:
             return
         self.stats.failed += 1
@@ -128,4 +165,5 @@ class ConsumerCore:
 
     @property
     def pending(self) -> int:
-        return len(self._futures)
+        with self._lock:
+            return len(self._futures)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
-from ..common.errors import ExecutionFailed, TimeoutExpired
+from ..common.errors import ExecutionFailed, TaskletError, TimeoutExpired
 from ..common.ids import TaskletId
 from .results import TaskletResult
 
@@ -28,6 +28,7 @@ class TaskletFuture:
         self.tasklet_id = tasklet_id
         self._condition = threading.Condition()
         self._result: TaskletResult | None = None
+        self._exception: TaskletError | None = None
         self._callbacks: list[Callable[[TaskletResult], None]] = []
 
     # -- producer side ----------------------------------------------------------
@@ -45,12 +46,40 @@ class TaskletFuture:
         for callback in callbacks:
             callback(result)
 
+    def fail(self, exc: TaskletError, result: TaskletResult | None = None) -> None:
+        """Resolve with a *typed* failure instead of a broker-voted result.
+
+        Used when the middleware itself can no longer deliver an answer
+        (e.g. the broker connection died): waiters wake with a failed
+        :class:`TaskletResult` and ``result()`` raises ``exc`` rather than
+        the generic :class:`ExecutionFailed`.  Like :meth:`resolve`, the
+        first write wins; a genuine result arriving later is ignored.
+        """
+        if result is None:
+            result = TaskletResult(
+                tasklet_id=self.tasklet_id, ok=False, error=str(exc)
+            )
+        with self._condition:
+            if self._result is not None:
+                return
+            self._exception = exc
+            self._result = result
+            callbacks = list(self._callbacks)
+            self._condition.notify_all()
+        for callback in callbacks:
+            callback(result)
+
     # -- consumer side ----------------------------------------------------------
 
     @property
     def done(self) -> bool:
         with self._condition:
             return self._result is not None
+
+    def exception(self) -> TaskletError | None:
+        """The typed middleware failure, if the future was ``fail``-ed."""
+        with self._condition:
+            return self._exception
 
     def add_done_callback(self, callback: Callable[[TaskletResult], None]) -> None:
         """Run ``callback(result)`` on resolution (immediately if done)."""
@@ -79,6 +108,10 @@ class TaskletFuture:
         returns the full :class:`TaskletResult` record instead.
         """
         outcome = self.wait(timeout)
+        with self._condition:
+            exception = self._exception
+        if exception is not None:
+            raise exception
         if not outcome.ok:
             raise ExecutionFailed(
                 f"tasklet {self.tasklet_id} failed: {outcome.error}",

@@ -106,7 +106,6 @@ class ProviderCore:
         #: Start times of accepted executions that have not begun yet;
         #: pruned lazily.  Their count is the queue length.
         self._pending_starts: list[float] = []
-        self._cancelled: set[str] = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -153,9 +152,10 @@ class ProviderCore:
         if isinstance(body, AssignExecution):
             return self._on_assign(body)
         if isinstance(body, CancelExecution):
-            # The slot model decides results at assignment time, so a
-            # cancel can only suppress results not yet "sent".
-            self._cancelled.add(body.execution_id)
+            # The slot model decides results at assignment time, so by
+            # the time a cancel arrives the result is already "on the
+            # wire"; the broker drops it as late.  Tracking cancel ids
+            # here would only accumulate forever (they were never read).
             return []
         return []
 

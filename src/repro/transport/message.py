@@ -32,6 +32,12 @@ from ..common.ids import ExecutionId, NodeId, TaskletId
 #: Broadcast / well-known addresses.
 BROKER_ADDRESS = NodeId("broker")
 
+#: ``register_ack.reason`` a broker uses to reject a heartbeat from a
+#: provider it does not know (it restarted and lost its registry): the
+#: provider answers by re-registering.  Part of the wire contract — see
+#: docs/PROTOCOL.md, "Connection lifecycle".
+REASON_UNKNOWN_PROVIDER = "unknown provider"
+
 _envelope_counter = itertools.count()
 
 

@@ -15,21 +15,38 @@ For *parallel* scaling on one machine (experiment F8) use
 :func:`spawn_provider_process`: each provider lives in its own OS process,
 so TVM execution escapes the GIL.
 
+Connection lifecycle (documented in detail in ``docs/PROTOCOL.md``):
+
+* A consumer that loses its broker connection fails every pending future
+  with a typed :class:`~repro.common.errors.BrokerUnreachable` error —
+  nothing hangs — and fires its ``on_disconnect`` hook.
+* A provider that loses its broker connection reconnects with
+  exponential backoff plus jitter, re-registering with its *cached*
+  benchmark score; the broker's flap-recovery path fails the previous
+  incarnation's executions so re-issue happens immediately.
+* ``TcpProvider.stop(drain=True)`` rejects new assignments, finishes
+  in-flight executions, flushes their results, and only then
+  unregisters; all stop paths wake their loops through real stop events
+  so shutdown returns promptly instead of sleeping out an interval.
+
 Framing is the 4-byte-length-prefixed JSON of :mod:`repro.common.serde`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import socket
 import threading
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 
 from ..broker.core import BrokerConfig, BrokerCore
 from ..broker.scheduling import make_strategy
 from ..common.clock import WallClock
 from ..common.errors import ConnectionClosed, TransportError
-from ..common.ids import NodeId, random_id
+from ..common.ids import IdGenerator, NodeId, random_id
 from ..common.serde import FrameReader, pack_frame
 from ..consumer.core import ConsumerCore
 from ..consumer.library import TaskletLibrary
@@ -42,8 +59,11 @@ from ..transport.message import (
     BROKER_ADDRESS,
     CancelExecution,
     Envelope,
+    ExecutionRejected,
     ExecutionResult,
     Heartbeat,
+    REASON_UNKNOWN_PROVIDER,
+    RegisterAck,
     RegisterProvider,
     Unregister,
     body_of,
@@ -117,15 +137,23 @@ class TcpBroker:
             clock=WallClock(),
             strategy=make_strategy(strategy),
             config=self.config,
+            # Namespaced ids: a restarted broker must never mint an
+            # execution id that a previous incarnation already used (a
+            # provider could still answer the old one).
+            id_generator=IdGenerator(namespace=uuid.uuid4().hex[:8]),
         )
         self._core_lock = threading.Lock()
         self._connections: dict[NodeId, _Connection] = {}
+        #: Every accepted connection, registered or not, so ``stop`` can
+        #: close them all and wake their reader threads promptly.
+        self._accepted: set[_Connection] = set()
         self._connections_lock = threading.Lock()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(128)
         self._running = threading.Event()
+        self._stop_event = threading.Event()
         self._threads: list[threading.Thread] = []
 
     @property
@@ -136,6 +164,7 @@ class TcpBroker:
 
     def start(self) -> "TcpBroker":
         self._running.set()
+        self._stop_event.clear()
         accept_thread = threading.Thread(
             target=self._accept_loop, name="broker-accept", daemon=True
         )
@@ -149,15 +178,19 @@ class TcpBroker:
 
     def stop(self) -> None:
         self._running.clear()
+        self._stop_event.set()  # wakes the tick loop immediately
         try:
             self._listener.close()
         except OSError:
             pass
         with self._connections_lock:
-            connections = list(self._connections.values())
+            connections = list(self._accepted)
+            self._accepted.clear()
             self._connections.clear()
         for connection in connections:
             connection.close()
+        for thread in self._threads:
+            thread.join(timeout=0.1)
 
     def __enter__(self) -> "TcpBroker":
         return self.start()
@@ -175,6 +208,8 @@ class TcpBroker:
                 return  # listener closed
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             connection = _Connection(sock)
+            with self._connections_lock:
+                self._accepted.add(connection)
             thread = threading.Thread(
                 target=self._reader_loop, args=(connection,), daemon=True
             )
@@ -191,23 +226,27 @@ class TcpBroker:
                     connection.peer_id = envelope.src
                     with self._connections_lock:
                         self._connections[envelope.src] = connection
-                with self._core_lock:
-                    outbound = self.core.handle(envelope)
+                try:
+                    with self._core_lock:
+                        outbound = self.core.handle(envelope)
+                except TransportError:
+                    continue  # unknown message type: forward compatibility
                 self._route(outbound)
         # Connection gone: a provider that drops TCP is handled by the
         # heartbeat failure detector; nothing else to do here.
-        if connection.peer_id is not None:
-            with self._connections_lock:
-                if self._connections.get(connection.peer_id) is connection:
-                    del self._connections[connection.peer_id]
+        with self._connections_lock:
+            self._accepted.discard(connection)
+            if (
+                connection.peer_id is not None
+                and self._connections.get(connection.peer_id) is connection
+            ):
+                del self._connections[connection.peer_id]
 
     def _tick_loop(self) -> None:
         interval = self.config.heartbeat_interval / 2.0
-        while self._running.is_set():
-            self._running.wait(0)  # fast exit check
-            threading.Event().wait(interval)  # plain sleep, interrupt-free
-            if not self._running.is_set():
-                return
+        # Waiting on the real stop event (instead of a throwaway one)
+        # means ``stop`` interrupts the sleep instead of riding it out.
+        while not self._stop_event.wait(interval):
             with self._core_lock:
                 outbound = self.core.tick()
             self._route(outbound)
@@ -226,7 +265,14 @@ class TcpBroker:
 
 
 class TcpProvider:
-    """A provider process/thread executing Tasklets over TCP."""
+    """A provider process/thread executing Tasklets over TCP.
+
+    The broker connection is supervised: if it drops while the provider
+    is running, the connection loop reconnects with exponential backoff
+    (plus jitter, so a provider fleet does not reconnect in lockstep) and
+    re-registers using the benchmark score measured at ``start`` — the
+    self-benchmark is not repeated on reconnect.
+    """
 
     def __init__(
         self,
@@ -238,51 +284,83 @@ class TcpProvider:
         benchmark_score: float | None = None,
         heartbeat_interval: float = 1.0,
         price: float = 0.0,
+        reconnect: bool = True,
+        reconnect_backoff: float = 0.2,
+        reconnect_backoff_max: float = 5.0,
     ):
         self.node_id = NodeId(node_id or random_id("prov"))
         self.capacity = capacity
         self.device_class = device_class
         self.heartbeat_interval = heartbeat_interval
         self.price = price
-        self._given_score = benchmark_score
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_max = reconnect_backoff_max
+        self._score = benchmark_score  # measured once, cached for re-registration
         self._clock = WallClock()
         self._executor = TaskletExecutor()
         self._pool: ThreadPoolExecutor | None = None
         self._connection: _Connection | None = None
         self._running = threading.Event()
+        self._stop_event = threading.Event()
+        self._draining = threading.Event()
         self._active = 0
         self._active_lock = threading.Lock()
+        #: Executions assigned but not yet terminal, and the subset the
+        #: broker cancelled.  Both are touched from the reader thread and
+        #: the executor threads, hence the shared lock; entries are purged
+        #: when the matching execution finishes so neither set leaks.
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._inflight: set[str] = set()
         self._cancelled: set[str] = set()
+        #: Bumped on every (re-)registration.  Any registration voids all
+        #: executions assigned before it — the broker fails them on the
+        #: flap-recovery path (or never knew them, after a restart) — so
+        #: results computed under an older epoch are dropped, not sent:
+        #: a restarted broker may have reused their execution ids.
+        self._epoch = 0
+        self._rng = random.Random(self.node_id)
         self._broker = (broker_host, broker_port)
 
     def start(self) -> "TcpProvider":
-        score = self._given_score
-        if score is None:
-            score = run_benchmark().score
+        if self._score is None:
+            self._score = run_benchmark().score
         self._connection = _connect(*self._broker)
         self._pool = ThreadPoolExecutor(
             max_workers=self.capacity, thread_name_prefix=f"{self.node_id}-exec"
         )
         self._running.set()
-        register = RegisterProvider(
-            provider_id=self.node_id,
-            device_class=self.device_class,
-            capacity=self.capacity,
-            benchmark_score=score,
-            price=self.price,
-            heartbeat_interval=self.heartbeat_interval,
+        self._stop_event.clear()
+        self._draining.clear()
+        self._register()
+        connection_thread = threading.Thread(
+            target=self._connection_loop, name=f"{self.node_id}-conn", daemon=True
         )
-        self._send(register.envelope(self.node_id, BROKER_ADDRESS))
-        reader = threading.Thread(target=self._reader_loop, daemon=True)
-        heart = threading.Thread(target=self._heartbeat_loop, daemon=True)
-        reader.start()
+        heart = threading.Thread(
+            target=self._heartbeat_loop, name=f"{self.node_id}-heart", daemon=True
+        )
+        connection_thread.start()
         heart.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = False, drain_timeout: float = 30.0) -> None:
+        """Disconnect from the broker and shut down.
+
+        With ``drain=True`` the provider first stops accepting work
+        (rejecting new assignments so the broker re-issues them
+        elsewhere), waits up to ``drain_timeout`` for in-flight
+        executions to finish and flush their results, and only then
+        unregisters.  Without it, shutdown is immediate and the broker's
+        flap/failure handling re-issues whatever was outstanding.
+        """
         if not self._running.is_set():
             return
+        if drain:
+            self._draining.set()
+            self._wait_drained(drain_timeout)
         self._running.clear()
+        self._stop_event.set()  # wakes heartbeat + reconnect waits promptly
         try:
             self._send(
                 Unregister(provider_id=self.node_id).envelope(
@@ -305,41 +383,141 @@ class TcpProvider:
     # -- internals ----------------------------------------------------------
 
     def _send(self, envelope: Envelope) -> None:
-        if self._connection is None:
-            raise TransportError("provider not started")
-        self._connection.send(envelope)
+        connection = self._connection
+        if connection is None:
+            raise TransportError("provider not connected")
+        connection.send(envelope)
 
-    def _reader_loop(self) -> None:
-        assert self._connection is not None
+    def _register(self) -> None:
+        self._epoch += 1
+        register = RegisterProvider(
+            provider_id=self.node_id,
+            device_class=self.device_class,
+            capacity=self.capacity,
+            benchmark_score=self._score,
+            price=self.price,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        self._send(register.envelope(self.node_id, BROKER_ADDRESS))
+
+    def _jittered(self, delay: float) -> float:
+        return delay * (1.0 + 0.5 * self._rng.random())
+
+    def _connection_loop(self) -> None:
+        """Read from the broker; on EOF, reconnect with backoff."""
+        connection = self._connection
+        backoff = self.reconnect_backoff
         while self._running.is_set():
-            envelopes = self._connection.recv_envelopes()
+            if connection is not None:
+                self._read_connection(connection)
+                connection.close()
+                if self._connection is connection:
+                    self._connection = None
+                connection = None
+            if not self._running.is_set() or not self.reconnect:
+                return
+            if self._stop_event.wait(self._jittered(backoff)):
+                return
+            backoff = min(backoff * 2.0, self.reconnect_backoff_max)
+            try:
+                candidate = _connect(*self._broker, timeout=5.0)
+            except OSError:
+                continue
+            self._connection = candidate
+            try:
+                self._register()
+            except (ConnectionClosed, TransportError):
+                self._connection = None
+                candidate.close()
+                continue
+            connection = candidate
+            backoff = self.reconnect_backoff
+
+    def _read_connection(self, connection: _Connection) -> None:
+        while self._running.is_set():
+            envelopes = connection.recv_envelopes()
             if envelopes is None:
                 return
             for envelope in envelopes:
-                body = body_of(envelope)
+                try:
+                    body = body_of(envelope)
+                except TransportError:
+                    continue  # unknown message type: forward compatibility
                 if isinstance(body, AssignExecution):
-                    assert self._pool is not None
-                    self._pool.submit(self._execute, body)
+                    self._on_assign(body)
                 elif isinstance(body, CancelExecution):
-                    self._cancelled.add(body.execution_id)
+                    with self._state_lock:
+                        # Only executions still in flight can be
+                        # cancelled; anything else (already finished,
+                        # or assigned to a previous incarnation) would
+                        # leak in the set forever.
+                        if body.execution_id in self._inflight:
+                            self._cancelled.add(body.execution_id)
+                elif isinstance(body, RegisterAck):
+                    if not body.accepted and body.reason == REASON_UNKNOWN_PROVIDER:
+                        # The broker restarted and lost our registration:
+                        # it answers our heartbeat with this rejection to
+                        # ask us back.
+                        try:
+                            self._register()
+                        except (ConnectionClosed, TransportError):
+                            return
+
+    def _on_assign(self, request: AssignExecution) -> None:
+        if self._draining.is_set() or self._pool is None:
+            rejection = ExecutionRejected(
+                execution_id=request.execution_id,
+                tasklet_id=request.tasklet_id,
+                provider_id=self.node_id,
+                reason="provider draining",
+            )
+            try:
+                self._send(rejection.envelope(self.node_id, BROKER_ADDRESS))
+            except (ConnectionClosed, TransportError):
+                pass
+            return
+        with self._state_lock:
+            self._inflight.add(request.execution_id)
+        self._pool.submit(self._execute, request, self._epoch)
 
     def _heartbeat_loop(self) -> None:
-        while self._running.is_set():
-            threading.Event().wait(self.heartbeat_interval)
-            if not self._running.is_set():
-                return
+        while not self._stop_event.wait(self.heartbeat_interval):
             with self._active_lock:
                 free = max(0, self.capacity - self._active)
             heartbeat = Heartbeat(provider_id=self.node_id, free_slots=free)
             try:
                 self._send(heartbeat.envelope(self.node_id, BROKER_ADDRESS))
             except (ConnectionClosed, TransportError):
-                return
+                continue  # disconnected; the connection loop is reconnecting
 
-    def _execute(self, request: AssignExecution) -> None:
-        if request.execution_id in self._cancelled:
-            self._cancelled.discard(request.execution_id)
-            return
+    def _finish_execution(self, execution_id: str) -> bool:
+        """Purge bookkeeping for a terminal execution; True if cancelled."""
+        with self._state_lock:
+            cancelled = execution_id in self._cancelled
+            self._cancelled.discard(execution_id)
+            self._inflight.discard(execution_id)
+            if not self._inflight:
+                self._idle.notify_all()
+        return cancelled
+
+    def _wait_drained(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._state_lock:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def _execute(self, request: AssignExecution, epoch: int) -> None:
+        with self._state_lock:
+            if request.execution_id in self._cancelled:
+                self._cancelled.discard(request.execution_id)
+                self._inflight.discard(request.execution_id)
+                if not self._inflight:
+                    self._idle.notify_all()
+                return
         with self._active_lock:
             self._active += 1
         started = self._clock.now()
@@ -349,9 +527,10 @@ class TcpProvider:
             with self._active_lock:
                 self._active -= 1
         finished = self._clock.now()
-        if request.execution_id in self._cancelled:
-            self._cancelled.discard(request.execution_id)
+        if self._finish_execution(request.execution_id):
             return
+        if epoch != self._epoch:
+            return  # assigned before a re-registration: void, never send
         result = ExecutionResult(
             execution_id=request.execution_id,
             tasklet_id=request.tasklet_id,
@@ -366,11 +545,17 @@ class TcpProvider:
         try:
             self._send(result.envelope(self.node_id, BROKER_ADDRESS))
         except (ConnectionClosed, TransportError):
-            pass  # broker gone; nothing sensible to do
+            pass  # broker gone; re-registration will fail this execution
 
 
 class TcpConsumer:
-    """Consumer session over TCP; plug into :class:`TaskletLibrary`."""
+    """Consumer session over TCP; plug into :class:`TaskletLibrary`.
+
+    If the broker connection drops, every pending future is failed with
+    :class:`~repro.common.errors.BrokerUnreachable` (typed, immediate — no
+    caller is left hanging until its timeout) and the optional
+    ``on_disconnect`` hook is invoked with a human-readable reason.
+    """
 
     def __init__(
         self,
@@ -378,25 +563,35 @@ class TcpConsumer:
         broker_port: int,
         node_id: str | None = None,
         base_seed: int = 0,
+        on_disconnect=None,
     ):
         self.node_id = NodeId(node_id or random_id("cons"))
         self._clock = WallClock()
         self.core = ConsumerCore(node_id=self.node_id, clock=self._clock)
         self.library = TaskletLibrary(session=self, base_seed=base_seed)
+        self.on_disconnect = on_disconnect
         self._broker = (broker_host, broker_port)
         self._connection: _Connection | None = None
         self._running = threading.Event()
+        self._disconnected = threading.Event()
 
     def start(self) -> "TcpConsumer":
         self._connection = _connect(*self._broker)
         self._running.set()
-        threading.Thread(target=self._reader_loop, daemon=True).start()
+        threading.Thread(
+            target=self._reader_loop, name=f"{self.node_id}-reader", daemon=True
+        ).start()
         return self
 
     def stop(self) -> None:
+        was_running = self._running.is_set()
         self._running.clear()
         if self._connection is not None:
             self._connection.close()
+        if was_running:
+            # Nothing can resolve once the connection is gone; anyone
+            # still waiting gets a typed error instead of a hang.
+            self.core.fail_all_pending("consumer stopped")
 
     def __enter__(self) -> "TcpConsumer":
         return self.start()
@@ -410,8 +605,20 @@ class TcpConsumer:
         if self._connection is None:
             raise TransportError("consumer not started")
         future, envelopes = self.core.submit(tasklet)
-        for envelope in envelopes:
-            self._connection.send(envelope)
+        if self._disconnected.is_set():
+            # The reader already saw EOF. A send() here could still
+            # "succeed" (TCP buffers one write after a peer close), so
+            # don't trust it — fail the future typed right away.
+            self.core.fail_all_pending("connection to broker lost")
+            return future
+        try:
+            for envelope in envelopes:
+                self._connection.send(envelope)
+        except ConnectionClosed as exc:
+            # The submission never left this host; the future (and any
+            # other pending ones — the connection is dead for all of
+            # them) resolves with a typed error rather than hanging.
+            self.core.fail_all_pending(f"send failed: {exc}")
         return future
 
     def now(self) -> float:
@@ -420,13 +627,28 @@ class TcpConsumer:
     # -- internals ----------------------------------------------------------
 
     def _reader_loop(self) -> None:
-        assert self._connection is not None
+        connection = self._connection
+        assert connection is not None
         while self._running.is_set():
-            envelopes = self._connection.recv_envelopes()
+            envelopes = connection.recv_envelopes()
             if envelopes is None:
-                return
+                break
             for envelope in envelopes:
-                self.core.handle(envelope)
+                try:
+                    self.core.handle(envelope)
+                except TransportError:
+                    continue  # unknown message type: forward compatibility
+        if not self._running.is_set():
+            return  # deliberate stop(); it fails pending futures itself
+        # Flag first, then snapshot-and-fail: a submit racing this either
+        # sees the flag (fails itself) or registered in time to be caught
+        # by the snapshot below. No window where a future can slip through.
+        self._disconnected.set()
+        connection.close()
+        self.core.fail_all_pending("connection to broker lost")
+        hook = self.on_disconnect
+        if hook is not None:
+            hook("connection to broker lost")
 
 
 def _provider_process_main(
@@ -489,6 +711,17 @@ class ProviderProcess:
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout)
+
+    def kill(self) -> None:
+        """Crash the provider process: no unregister, no drain, no goodbye.
+
+        Fault-injection helper — from the broker's point of view this is a
+        provider dying mid-execution, recovered by the heartbeat failure
+        detector (or by flap recovery if the same node id returns).
+        """
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(5.0)
 
     def __enter__(self) -> "ProviderProcess":
         return self.start()

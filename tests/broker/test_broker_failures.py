@@ -9,7 +9,9 @@ from repro.core.tasklet import Tasklet
 from repro.transport.message import (
     AssignExecution,
     CancelExecution,
+    ExecutionResult,
     Heartbeat,
+    RegisterAck,
     RegisterProvider,
     SubmitTasklet,
     TaskletComplete,
@@ -168,6 +170,161 @@ class TestFlapRecovery:
         assert harness.broker.stats.executions_lost == 0
         harness.register("p-new")
         assert harness.broker.stats.executions_lost == 0
+
+    def test_reregistration_is_acked_and_resets_outstanding(self):
+        # The crash-recovery branch of _on_register (was_known=True): the
+        # returning provider is accepted and starts with a clean slate.
+        harness = Harness()
+        harness.register("p1", capacity=2)
+        harness.submit(qoc=QoC(max_attempts=2))
+        assert harness.broker.registry.get(NodeId("p1")).outstanding == 1
+        replies = harness.register("p1", capacity=2)
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and acks[0].accepted
+        # Fresh incarnation: zero outstanding, and the lost execution was
+        # re-issued (possibly right back to p1, the only provider).
+        record = harness.broker.registry.get(NodeId("p1"))
+        assert record.outstanding == 1  # the re-issue, not the lost one
+        assert harness.broker.stats.executions_lost == 1
+        assert len(bodies(replies, AssignExecution)) == 1
+
+    def test_reregistration_single_attempt_fails_tasklet(self):
+        # max_attempts=1: flap recovery has no budget left to re-issue,
+        # so the consumer gets a terminal failure instead of a hang.
+        harness = Harness()
+        harness.register("p1")
+        harness.submit(qoc=QoC())  # max_attempts=1
+        replies = harness.register("p1")
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert harness.broker.pending_tasklets == 0
+
+    def test_invalid_reregistration_keeps_previous_record(self):
+        # A bad re-registration (capacity=0) is rejected *before* the
+        # crash-recovery branch runs: the old incarnation's record and
+        # its outstanding executions must survive untouched.
+        harness = Harness()
+        harness.register("p1")
+        harness.submit(qoc=QoC(max_attempts=2))
+        replies = harness.send(
+            RegisterProvider(
+                provider_id="p1",
+                device_class="desktop",
+                capacity=0,
+                benchmark_score=1e6,
+            ),
+            src="p1",
+        )
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and not acks[0].accepted
+        assert harness.broker.stats.executions_lost == 0
+        assert harness.broker.registry.get(NodeId("p1")).outstanding == 1
+
+
+class TestLateResults:
+    def test_late_result_after_timeout_is_dropped(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.register("p2")
+        replies = harness.submit(qoc=QoC(max_attempts=2))
+        first = bodies(replies, AssignExecution)[0]
+        assignee = [d for d, b in replies if isinstance(b, AssignExecution)][0]
+        # Both providers stay alive; the first execution times out at 10s.
+        for t in (2.0, 4.0, 6.0, 8.0, 10.0):
+            harness.clock.advance_to(t)
+            harness.send(Heartbeat(provider_id="p1", free_slots=1), src="p1")
+            harness.send(Heartbeat(provider_id="p2", free_slots=1), src="p2")
+        replies = harness.tick_at(10.5)
+        reissues = bodies(replies, AssignExecution)
+        assert len(reissues) == 1
+        assert harness.broker.stats.executions_timed_out == 1
+        # The timed-out execution's result finally limps in: it must be
+        # ignored — no completion, no double stats, no crash.
+        late = harness.send(
+            ExecutionResult(
+                execution_id=first.execution_id,
+                tasklet_id=first.tasklet_id,
+                provider_id=assignee,
+                status="success",
+                value=1,
+                instructions=10,
+                started_at=0.0,
+                finished_at=10.4,
+            ),
+            src=assignee,
+        )
+        assert bodies(late, TaskletComplete) == []
+        assert harness.broker.stats.executions_succeeded == 0
+        assert harness.broker.stats.tasklets_completed == 0
+        # The re-issued replica still decides the tasklet.
+        done = harness.send(
+            ExecutionResult(
+                execution_id=reissues[0].execution_id,
+                tasklet_id=reissues[0].tasklet_id,
+                provider_id="p2",
+                status="success",
+                value=1,
+                instructions=10,
+                started_at=10.5,
+                finished_at=10.6,
+            ),
+            src="p2",
+        )
+        completions = bodies(done, TaskletComplete)
+        assert len(completions) == 1 and completions[0].ok
+        assert harness.broker.stats.tasklets_completed == 1
+
+    def test_result_for_unknown_execution_ignored(self):
+        harness = Harness()
+        harness.register("p1")
+        replies = harness.send(
+            ExecutionResult(
+                execution_id="ex-ghost",
+                tasklet_id="tl-ghost",
+                provider_id="p1",
+                status="success",
+                value=1,
+            ),
+            src="p1",
+        )
+        assert replies == []
+        assert harness.broker.stats.executions_succeeded == 0
+
+
+class _StaleThenHonestStrategy:
+    """Returns a provider id that is not in the registry for the first
+    few calls, then delegates to least-loaded — models a provider dying
+    (or a buggy strategy going stale) between snapshot and placement.
+    Two stale calls are needed because ``handle`` drains the backlog
+    (calling ``select`` again) within the same inbound message."""
+
+    name = "stale-then-honest"
+
+    def __init__(self, stale_calls=2):
+        self._delegate = LeastLoadedStrategy()
+        self._stale_calls = stale_calls
+
+    def select(self, views, n, qoc):
+        if self._stale_calls > 0:
+            self._stale_calls -= 1
+            return [NodeId("ghost")]
+        return self._delegate.select(views, n, qoc)
+
+
+class TestIssuePlacementAccounting:
+    def test_replica_chosen_for_dead_provider_requeues(self):
+        # A replica whose chosen provider cannot take it must land in the
+        # backlog (counted into `missing`), not vanish from the budget.
+        harness = Harness()
+        harness.broker.strategy = _StaleThenHonestStrategy()
+        harness.register("p1")
+        replies = harness.submit(qoc=QoC(max_attempts=2))
+        assert bodies(replies, AssignExecution) == []  # ghost placement failed
+        assert harness.broker.stats.replicas_queued == 1
+        assert harness.broker.pending_tasklets == 1
+        # Next maintenance tick drains the backlog via the honest path.
+        replies = harness.tick_at(0.5)
+        assert len(bodies(replies, AssignExecution)) == 1
 
 
 class TestBacklogUnderFailure:

@@ -40,6 +40,21 @@ def test_ids_are_unique_within_prefix():
     assert len(ids) == 1000
 
 
+def test_namespace_is_woven_into_every_id():
+    generator = IdGenerator(namespace="1f3a")
+    assert generator.next("ex") == "ex-1f3a-000000"
+    assert generator.next("ex") == "ex-1f3a-000001"
+    assert generator.next_execution() == "ex-1f3a-000002"
+
+
+def test_distinct_namespaces_never_collide():
+    first = IdGenerator(namespace="aaaa")
+    second = IdGenerator(namespace="bbbb")
+    ids = {first.next("ex") for _ in range(100)}
+    ids |= {second.next("ex") for _ in range(100)}
+    assert len(ids) == 200
+
+
 def test_random_id_contains_prefix_and_is_unique():
     first = random_id("prov")
     second = random_id("prov")

@@ -134,3 +134,40 @@ def test_resolve_local_bypasses_wire():
     )
     assert future.result(0) == 99
     assert core.stats.completed == 1
+
+
+def test_fail_all_pending_resolves_every_future_with_typed_error():
+    import pytest
+
+    from repro.common.errors import BrokerUnreachable
+
+    core = make_core()
+    first, _ = core.submit(make_tasklet("tl-1"))
+    second, _ = core.submit(make_tasklet("tl-2"))
+    failed = core.fail_all_pending("connection to broker lost")
+    assert failed == 2
+    assert core.pending == 0
+    assert core.stats.failed == 2
+    for future in (first, second):
+        assert future.done
+        outcome = future.wait(0)
+        assert outcome.ok is False
+        assert "broker unreachable" in outcome.error
+        with pytest.raises(BrokerUnreachable):
+            future.result(0)
+
+
+def test_fail_all_pending_with_nothing_pending_is_noop():
+    core = make_core()
+    assert core.fail_all_pending("whatever") == 0
+    assert core.stats.failed == 0
+
+
+def test_late_completion_after_fail_all_pending_ignored():
+    core = make_core()
+    future, _ = core.submit(make_tasklet())
+    core.fail_all_pending("connection to broker lost")
+    deliver(core, TaskletComplete(tasklet_id="tl-1", ok=True, value=7))
+    # The typed failure won the write-once race; the late result is dropped.
+    assert future.wait(0).ok is False
+    assert core.stats.completed == 0

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.common.errors import ExecutionFailed, TimeoutExpired
+from repro.common.errors import BrokerUnreachable, ExecutionFailed, TimeoutExpired
 from repro.common.ids import TaskletId
 from repro.core.futures import TaskletFuture
 from repro.core.results import TaskletResult
@@ -85,6 +85,47 @@ def test_cross_thread_wait():
         assert future.result(timeout=5.0) == "from-thread"
     finally:
         thread.join()
+
+
+def test_fail_raises_typed_exception():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.fail(BrokerUnreachable("broker connection lost"))
+    assert future.done
+    with pytest.raises(BrokerUnreachable):
+        future.result(timeout=0)
+    assert isinstance(future.exception(), BrokerUnreachable)
+
+
+def test_fail_wakes_waiters_with_failed_record():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.fail(BrokerUnreachable("gone"))
+    outcome = future.wait(timeout=0)
+    assert outcome.ok is False
+    assert "gone" in outcome.error
+
+
+def test_resolve_after_fail_is_ignored():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.fail(BrokerUnreachable("gone"))
+    future.resolve(result(value=42))  # a late genuine result loses the race
+    with pytest.raises(BrokerUnreachable):
+        future.result(timeout=0)
+
+
+def test_fail_after_resolve_is_ignored():
+    future = TaskletFuture(TaskletId("tl-1"))
+    future.resolve(result(value=42))
+    future.fail(BrokerUnreachable("gone"))
+    assert future.result(timeout=0) == 42
+    assert future.exception() is None
+
+
+def test_fail_runs_callbacks_with_failed_record():
+    future = TaskletFuture(TaskletId("tl-1"))
+    seen = []
+    future.add_done_callback(lambda r: seen.append(r.ok))
+    future.fail(BrokerUnreachable("gone"))
+    assert seen == [False]
 
 
 def test_many_threads_waiting_all_wake():
