@@ -36,6 +36,7 @@ from .common.errors import (
 )
 from .consumer import TaskletLibrary
 from .core import QoC, Tasklet, TaskletFuture, TaskletResult
+from .obs import MetricsRegistry, Telemetry, build_trace_tree, format_trace
 from .provider import ProviderConfig, ProviderCore, run_benchmark
 from .sim import ExponentialChurn, Simulation, make_pool
 from .tvm import CompiledProgram, compile_source, execute
@@ -57,6 +58,10 @@ __all__ = [
     "Tasklet",
     "TaskletFuture",
     "TaskletResult",
+    "MetricsRegistry",
+    "Telemetry",
+    "build_trace_tree",
+    "format_trace",
     "ProviderConfig",
     "ProviderCore",
     "run_benchmark",

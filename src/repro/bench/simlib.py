@@ -8,7 +8,7 @@ every knob the experiments sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..broker.core import BrokerConfig
 from ..broker.scheduling import Strategy
@@ -20,6 +20,9 @@ from ..sim.churn import ChurnModel
 from ..sim.network import NetworkModel
 from ..sim.runner import Simulation
 from ..sim.workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 
 @dataclass
@@ -66,17 +69,24 @@ def run_workload(
     failure_for: "dict[int, ExecutionFailureModel] | None" = None,
     max_time: float = 1e5,
     collect_metrics: bool = False,
+    telemetry: "Telemetry | None" = None,
 ) -> RunOutcome:
     """Simulate one workload on one pool; returns the run summary.
 
     ``churn_for`` / ``failure_for`` map *pool indices* to per-provider
     models, so experiments can make exactly provider 0 flaky.
+
+    ``telemetry`` (an :class:`~repro.obs.telemetry.Telemetry`) is shared
+    by every node of the simulated deployment; after the run the broker's
+    end-of-run counters — and, with ``collect_metrics``, the timeline
+    summary — are published into its registry via :mod:`repro.obs.bridge`.
     """
     simulation = Simulation(
         seed=seed,
         strategy=strategy,
         broker_config=broker_config,
         network=network,
+        telemetry=telemetry,
     )
     for index, config in enumerate(pool):
         simulation.add_provider(
@@ -118,11 +128,18 @@ def run_workload(
             if result is not None and result.ok and result.value != expected
         )
         correct = wrong_values == 0
+    if telemetry is not None:
+        from ..obs.bridge import publish_broker_stats
+
+        publish_broker_stats(telemetry.registry, simulation.broker.stats)
     pool_utilization = None
     pool_busy_utilization = None
     if collector is not None:
         collector.stop()
-        pool_utilization = collector.summary().pool_mean_utilization
+        summary = collector.summary()
+        if telemetry is not None:
+            summary.publish(telemetry.registry)
+        pool_utilization = summary.pool_mean_utilization
         # Exact utilization from the providers' own busy-time accounting:
         # immune to the sampling aliasing that short task bursts cause.
         total_slots = sum(config.capacity for config in pool)

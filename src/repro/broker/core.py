@@ -28,6 +28,8 @@ from ..common.ids import ExecutionId, IdGenerator, NodeId, TaskletId
 from ..core.qoc import QoC
 from ..core.results import ExecutionRecord, ExecutionStatus, VoteCollector
 from ..core.tasklet import Tasklet
+from ..obs.telemetry import BrokerMetrics, Telemetry
+from ..obs.trace import TraceContext
 from .accounting import CostLedger
 from .registry import ProviderRegistry
 from .scheduling import QoCStrategy, Strategy
@@ -39,6 +41,7 @@ from ..transport.message import (
     ExecutionRejected,
     ExecutionResult,
     Heartbeat,
+    HeartbeatAck,
     MessageBody,
     REASON_UNKNOWN_PROVIDER,
     RegisterAck,
@@ -89,6 +92,8 @@ class _Outstanding:
     execution_id: ExecutionId
     provider_id: NodeId
     issued_at: float
+    #: Telemetry context of the ``broker.assign`` span (None when disabled).
+    trace_ctx: TraceContext | None = None
 
 
 @dataclass
@@ -118,6 +123,10 @@ class _TaskletState:
     pending_replicas: int = 0  # replicas wanted but not yet placeable
     issued: int = 0  # total executions ever issued
     done: bool = False
+    #: Telemetry contexts: the ``broker.tasklet`` span and the consumer's
+    #: root context it parents on (both None when telemetry is disabled).
+    trace_ctx: TraceContext | None = None
+    trace_parent: TraceContext | None = None
 
     @property
     def budget(self) -> int:
@@ -138,12 +147,16 @@ class BrokerCore:
         config: BrokerConfig | None = None,
         node_id: NodeId = BROKER_ADDRESS,
         id_generator: IdGenerator | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.node_id = node_id
         self.clock = clock
         self.strategy = strategy or QoCStrategy()
         self.config = config or BrokerConfig()
         self.ids = id_generator or IdGenerator()
+        self.telemetry = telemetry
+        self._metrics = BrokerMetrics(telemetry.registry) if telemetry else None
+        self._tracer = telemetry.tracer if telemetry else None
         self.registry = ProviderRegistry(
             heartbeat_interval=self.config.heartbeat_interval,
             heartbeat_tolerance=self.config.heartbeat_tolerance,
@@ -169,7 +182,7 @@ class BrokerCore:
         elif isinstance(body, Heartbeat):
             out = self._on_heartbeat(body)
         elif isinstance(body, SubmitTasklet):
-            out = self._on_submit(envelope.src, body)
+            out = self._on_submit(envelope.src, body, envelope.trace)
         elif isinstance(body, ExecutionResult):
             out = self._on_result(body)
         elif isinstance(body, ExecutionRejected):
@@ -190,9 +203,19 @@ class BrokerCore:
         out: list[Envelope] = []
         for provider_id in self.registry.detect_failures(now):
             self.stats.providers_failed += 1
+            if self._metrics is not None:
+                self._metrics.providers_failed.inc()
             out.extend(self._fail_provider_executions(provider_id))
         out.extend(self._expire_executions(now))
         out.extend(self._drain_backlog())
+        if self._metrics is not None:
+            # Gauges are sampled once per tick, not per message, so the
+            # O(tasklets) backlog sum stays off the message hot path.
+            self._metrics.pending_tasklets.set(len(self._tasklets))
+            self._metrics.backlog_replicas.set(
+                sum(state.pending_replicas for state in self._tasklets.values())
+            )
+            self._metrics.providers_alive.set(len(self.registry.alive_providers()))
         return out
 
     # -- membership handlers ----------------------------------------------------
@@ -233,22 +256,47 @@ class BrokerCore:
         return self._fail_provider_executions(provider_id)
 
     def _on_heartbeat(self, body: Heartbeat) -> list[Envelope]:
-        known = self.registry.heartbeat(NodeId(body.provider_id), self.clock.now())
+        now = self.clock.now()
+        provider_id = NodeId(body.provider_id)
+        if self._metrics is not None:
+            record = self.registry.get(provider_id)
+            if record is not None and record.last_heartbeat > 0:
+                self._metrics.heartbeat_gap.observe(now - record.last_heartbeat)
+        known = self.registry.heartbeat(provider_id, now)
         if not known:
             # A provider we do not know (e.g. we restarted): ask it to
             # re-register by rejecting the heartbeat.
             return [
                 self._send(
                     RegisterAck(accepted=False, reason=REASON_UNKNOWN_PROVIDER),
-                    NodeId(body.provider_id),
+                    provider_id,
                 )
             ]
-        return self._drain_backlog()
+        out: list[Envelope] = []
+        if body.sent_at:
+            # Timestamped heartbeats ask for an echo (RTT telemetry).
+            out.append(
+                self._send(
+                    HeartbeatAck(
+                        provider_id=body.provider_id, echo_sent_at=body.sent_at
+                    ),
+                    provider_id,
+                )
+            )
+        out.extend(self._drain_backlog())
+        return out
 
     # -- submission -----------------------------------------------------------
 
-    def _on_submit(self, src: NodeId, body: SubmitTasklet) -> list[Envelope]:
+    def _on_submit(
+        self,
+        src: NodeId,
+        body: SubmitTasklet,
+        trace: dict[str, str] | None = None,
+    ) -> list[Envelope]:
         self.stats.tasklets_submitted += 1
+        if self._metrics is not None:
+            self._metrics.tasklets_submitted.inc()
         try:
             tasklet = Tasklet.from_dict(body.tasklet)
         except (TaskletError, KeyError, ValueError) as exc:
@@ -288,6 +336,12 @@ class BrokerCore:
             submitted_at=self.clock.now(),
             collector=VoteCollector(tasklet.qoc.redundancy),
         )
+        if self._tracer is not None:
+            parent = TraceContext.from_dict(trace)
+            state.trace_parent = parent
+            state.trace_ctx = (
+                self._tracer.child(parent) if parent else self._tracer.start_trace()
+            )
         self._tasklets[key] = state
         out = [self._send(SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True), src)]
         out.extend(self._issue(state, tasklet.qoc.redundancy))
@@ -337,29 +391,41 @@ class BrokerCore:
                 continue
             execution_id = self.ids.next_execution()
             record.outstanding += 1
+            assign_ctx = None
+            if self._tracer is not None and state.trace_ctx is not None:
+                assign_ctx = self._tracer.child(state.trace_ctx)
             state.outstanding[execution_id] = _Outstanding(
-                execution_id=execution_id, provider_id=provider_id, issued_at=now
+                execution_id=execution_id,
+                provider_id=provider_id,
+                issued_at=now,
+                trace_ctx=assign_ctx,
             )
             state.issued += 1
             self.stats.executions_issued += 1
             self._by_execution[execution_id] = state.key
-            out.append(
-                self._send(
-                    AssignExecution(
-                        execution_id=execution_id,
-                        tasklet_id=state.tasklet_id,
-                        consumer_id=state.consumer_id,
-                        program=state.program,
-                        program_fingerprint=state.program_fingerprint,
-                        entry=state.entry,
-                        args=state.args,
-                        seed=state.seed,
-                        fuel=state.fuel,
-                    ),
-                    provider_id,
-                )
+            envelope = self._send(
+                AssignExecution(
+                    execution_id=execution_id,
+                    tasklet_id=state.tasklet_id,
+                    consumer_id=state.consumer_id,
+                    program=state.program,
+                    program_fingerprint=state.program_fingerprint,
+                    entry=state.entry,
+                    args=state.args,
+                    seed=state.seed,
+                    fuel=state.fuel,
+                ),
+                provider_id,
             )
+            if assign_ctx is not None:
+                envelope.trace = assign_ctx.to_dict()
+            out.append(envelope)
             placed += 1
+        if placed and self._metrics is not None:
+            self._metrics.executions_issued.inc(placed)
+            self._metrics.placements.labels(
+                strategy=getattr(self.strategy, "name", "unknown")
+            ).inc(placed)
         missing = count - placed
         if missing > 0:
             queued_total = sum(
@@ -369,6 +435,8 @@ class BrokerCore:
                 state.pending_replicas += missing
                 if not requeue:
                     self.stats.replicas_queued += missing
+                    if self._metrics is not None:
+                        self._metrics.replicas_queued.inc(missing)
                 if state.key not in self._backlog:
                     self._backlog.append(state.key)
         return out
@@ -410,6 +478,11 @@ class BrokerCore:
             instructions=body.instructions,
             started_at=body.started_at,
             finished_at=body.finished_at,
+        )
+        if self._metrics is not None:
+            self._metrics.execution_results.labels(status=record.status.value).inc()
+        self._end_assign_span(
+            state, outstanding, "ok" if record.ok else record.status.value
         )
         provider = self.registry.get(NodeId(body.provider_id))
         if provider is not None and outstanding is not None:
@@ -458,14 +531,20 @@ class BrokerCore:
 
         out: list[Envelope] = []
         if not record.ok and state.budget_left > 0:
+            if self._metrics is not None:
+                self._metrics.executions_reissued.inc()
             out.extend(self._issue(state, 1))
 
         if not state.outstanding and state.pending_replicas == 0:
             if state.budget_left > 0:
                 # Successful-but-undecided vote (e.g. r=3 with one success
                 # and two losses): spend remaining budget on more replicas.
-                needed = state.collector.required - self._best_group_size(state)
-                out.extend(self._issue(state, max(1, needed)))
+                needed = max(
+                    1, state.collector.required - self._best_group_size(state)
+                )
+                if self._metrics is not None:
+                    self._metrics.executions_reissued.inc(needed)
+                out.extend(self._issue(state, needed))
             if not state.outstanding and state.pending_replicas == 0:
                 out.extend(self._complete_failed(state))
         return out
@@ -500,9 +579,29 @@ class BrokerCore:
             self.stats.tasklets_completed += 1
         else:
             self.stats.tasklets_failed += 1
+        if self._metrics is not None:
+            self._metrics.tasklets_completed.labels(
+                outcome="ok" if ok else "failed"
+            ).inc()
+        if self._tracer is not None and state.trace_ctx is not None:
+            self._tracer.record(
+                name="broker.tasklet",
+                context=state.trace_ctx,
+                node=str(self.node_id),
+                start=state.submitted_at,
+                end=self.clock.now(),
+                parent_id=(
+                    state.trace_parent.span_id if state.trace_parent else None
+                ),
+                status="ok" if ok else "failed",
+                attrs={"tasklet_id": str(state.tasklet_id), "attempts": state.issued},
+            )
         out: list[Envelope] = []
         # Cancel replicas still in flight and release registry bookkeeping.
         for outstanding in state.outstanding.values():
+            # The replica's result is no longer needed; close its span so
+            # a late ``provider.execute`` still has a parent in the tree.
+            self._end_assign_span(state, outstanding, "cancelled")
             self._by_execution.pop(outstanding.execution_id, None)
             provider = self.registry.get(outstanding.provider_id)
             if provider is not None:
@@ -515,22 +614,23 @@ class BrokerCore:
             )
         state.outstanding.clear()
         state.pending_replicas = 0
-        out.append(
-            self._send(
-                TaskletComplete(
-                    tasklet_id=state.tasklet_id,
-                    ok=ok,
-                    value=value,
-                    error=error,
-                    attempts=state.issued,
-                    cost=self.ledger.pop_cost_of(state.key),
-                    executions=[
-                        record.to_dict() for record in state.collector.all_records
-                    ],
-                ),
-                state.consumer_id,
-            )
+        complete = self._send(
+            TaskletComplete(
+                tasklet_id=state.tasklet_id,
+                ok=ok,
+                value=value,
+                error=error,
+                attempts=state.issued,
+                cost=self.ledger.pop_cost_of(state.key),
+                executions=[
+                    record.to_dict() for record in state.collector.all_records
+                ],
+            ),
+            state.consumer_id,
         )
+        if state.trace_ctx is not None:
+            complete.trace = state.trace_ctx.to_dict()
+        out.append(complete)
         del self._tasklets[state.key]
         return out
 
@@ -561,6 +661,11 @@ class BrokerCore:
                     started_at=outstanding.issued_at,
                     finished_at=now,
                 )
+                if self._metrics is not None:
+                    self._metrics.execution_results.labels(
+                        status=record.status.value
+                    ).inc()
+                self._end_assign_span(state, outstanding, record.status.value)
                 out.extend(self._fold_record(state, record))
         return out
 
@@ -606,10 +711,42 @@ class BrokerCore:
                     started_at=outstanding.issued_at,
                     finished_at=now,
                 )
+                if self._metrics is not None:
+                    self._metrics.execution_results.labels(
+                        status=record.status.value
+                    ).inc()
+                self._end_assign_span(state, outstanding, record.status.value)
                 out.extend(self._fold_record(state, record))
         return out
 
     # -- helpers ----------------------------------------------------------------
+
+    def _end_assign_span(
+        self,
+        state: _TaskletState,
+        outstanding: _Outstanding | None,
+        status: str,
+    ) -> None:
+        """Close the ``broker.assign`` span for a terminal execution."""
+        if (
+            self._tracer is None
+            or outstanding is None
+            or outstanding.trace_ctx is None
+        ):
+            return
+        self._tracer.record(
+            name="broker.assign",
+            context=outstanding.trace_ctx,
+            node=str(self.node_id),
+            start=outstanding.issued_at,
+            end=self.clock.now(),
+            parent_id=state.trace_ctx.span_id if state.trace_ctx else None,
+            status=status,
+            attrs={
+                "execution_id": str(outstanding.execution_id),
+                "provider_id": str(outstanding.provider_id),
+            },
+        )
 
     def _send(self, body: MessageBody, dst: NodeId) -> Envelope:
         return body.envelope(src=self.node_id, dst=dst)

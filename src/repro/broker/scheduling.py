@@ -170,7 +170,7 @@ class QoCStrategy:
 
     name = "qoc"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self):
         self._fast = FastestFirstStrategy()
         self._balanced = LeastLoadedStrategy()
 
@@ -221,6 +221,6 @@ def make_strategy(name: str, seed: int = 0) -> Strategy:
             f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}"
         )
     strategy_class = STRATEGIES[name]
-    if strategy_class in (RandomStrategy, QoCStrategy):
+    if strategy_class is RandomStrategy:
         return strategy_class(seed=seed)
     return strategy_class()

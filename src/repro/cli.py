@@ -5,6 +5,7 @@
     python -m repro run      prog.tl 12 3.5        # execute locally
     python -m repro bench                          # TVM self-benchmark
     python -m repro simulate --providers desktop=2,sbc=4 --tasks 30
+    python -m repro metrics  --format prom         # telemetered sim run
     python -m repro report F3 F4                   # regenerate experiments
 
 ``compile``/``disasm``/``run`` accept either Tasklet source (``.tl``, or
@@ -132,6 +133,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if ok == args.tasks else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a short telemetered simulation and dump what it observed."""
+    from .bench.simlib import run_workload
+    from .obs.telemetry import Telemetry
+    from .obs.trace import format_trace
+    from .sim.devices import make_pool
+
+    from .sim.workloads import prime_count
+
+    telemetry = Telemetry()
+    pool = make_pool(_parse_pool_spec(args.providers), seed=args.seed)
+    workload = prime_count(tasks=args.tasks, limit=args.limit)
+    run_workload(
+        workload,
+        pool,
+        strategy=args.strategy,
+        seed=args.seed,
+        collect_metrics=True,
+        telemetry=telemetry,
+    )
+    if args.format == "prom":
+        print(telemetry.registry.render_prometheus(), end="")
+    elif args.format == "json":
+        print(json.dumps(telemetry.registry.snapshot(), indent=2, sort_keys=True))
+    else:  # traces
+        print(format_trace(telemetry.spans.spans()))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .bench.report import generate
 
@@ -185,6 +215,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--redundancy", type=int, default=1)
     simulate_cmd.add_argument("--seed", type=int, default=0)
     simulate_cmd.set_defaults(handler=_cmd_simulate)
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="run a telemetered simulation and print its metrics/traces",
+    )
+    metrics_cmd.add_argument(
+        "--providers", default="desktop=2,smartphone=2",
+        help="pool spec, e.g. desktop=2,sbc=4",
+    )
+    metrics_cmd.add_argument("--tasks", type=int, default=10)
+    metrics_cmd.add_argument("--limit", type=int, default=500)
+    metrics_cmd.add_argument("--strategy", default="qoc")
+    metrics_cmd.add_argument("--seed", type=int, default=0)
+    metrics_cmd.add_argument(
+        "--format", choices=("prom", "json", "traces"), default="prom",
+        help="prom = Prometheus text exposition, json = registry snapshot, "
+        "traces = span-tree dump",
+    )
+    metrics_cmd.set_defaults(handler=_cmd_metrics)
 
     report_cmd = commands.add_parser(
         "report", help="run experiments and rewrite EXPERIMENTS.md"

@@ -20,6 +20,8 @@ from ..common.ids import NodeId, TaskletId
 from ..core.futures import TaskletFuture
 from ..core.results import ExecutionRecord, TaskletResult
 from ..core.tasklet import Tasklet
+from ..obs.telemetry import ConsumerMetrics, Telemetry
+from ..obs.trace import TraceContext
 from ..transport.message import (
     BROKER_ADDRESS,
     Envelope,
@@ -46,39 +48,60 @@ class ConsumerCore:
         node_id: NodeId,
         clock: Clock,
         broker: NodeId = BROKER_ADDRESS,
+        telemetry: Telemetry | None = None,
     ):
         self.node_id = node_id
         self.clock = clock
         self.broker = broker
+        self.telemetry = telemetry
+        self._metrics = ConsumerMetrics(telemetry.registry) if telemetry else None
+        self._tracer = telemetry.tracer if telemetry else None
         self.stats = ConsumerStats()
         self._lock = threading.Lock()
         self._futures: dict[TaskletId, TaskletFuture] = {}
         self._submitted_at: dict[TaskletId, float] = {}
+        #: Root trace context per in-flight tasklet (telemetry only).
+        self._trace_ctx: dict[TaskletId, TraceContext] = {}
 
     # -- submission -----------------------------------------------------------
 
     def submit(self, tasklet: Tasklet) -> tuple[TaskletFuture, list[Envelope]]:
         """Register a future for ``tasklet`` and produce the submit message."""
         future = TaskletFuture(tasklet.tasklet_id)
+        ctx = self._tracer.start_trace() if self._tracer is not None else None
         with self._lock:
             self._futures[tasklet.tasklet_id] = future
             self._submitted_at[tasklet.tasklet_id] = self.clock.now()
+            if ctx is not None:
+                self._trace_ctx[tasklet.tasklet_id] = ctx
             self.stats.submitted += 1
+        if self._metrics is not None:
+            self._metrics.submitted.inc()
         envelope = SubmitTasklet(tasklet=tasklet.to_dict()).envelope(
             src=self.node_id, dst=self.broker
         )
+        if ctx is not None:
+            envelope.trace = ctx.to_dict()
         return future, [envelope]
 
     def resolve_local(self, tasklet_id: TaskletId, result: TaskletResult) -> None:
         """Resolve a future without broker involvement (local execution)."""
         with self._lock:
             future = self._futures.pop(tasklet_id, None)
-            self._submitted_at.pop(tasklet_id, None)
+            submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+            ctx = self._trace_ctx.pop(tasklet_id, None)
         if future is not None:
             if result.ok:
                 self.stats.completed += 1
             else:
                 self.stats.failed += 1
+            self._record_finish(
+                tasklet_id,
+                ok=result.ok,
+                submitted_at=submitted_at,
+                ctx=ctx,
+                failure_kind=None if result.ok else self._failure_kind(result.error),
+            )
             future.resolve(result)
 
     def fail_all_pending(self, reason: str) -> int:
@@ -91,11 +114,21 @@ class ConsumerCore:
         """
         with self._lock:
             pending = list(self._futures.items())
+            submitted = dict(self._submitted_at)
+            contexts = dict(self._trace_ctx)
             self._futures.clear()
             self._submitted_at.clear()
+            self._trace_ctx.clear()
         now = self.clock.now()
         for tasklet_id, future in pending:
             self.stats.failed += 1
+            self._record_finish(
+                tasklet_id,
+                ok=False,
+                submitted_at=submitted.get(tasklet_id, 0.0),
+                ctx=contexts.get(tasklet_id),
+                failure_kind="broker_unreachable",
+            )
             future.fail(
                 BrokerUnreachable(f"tasklet {tasklet_id}: {reason}"),
                 TaskletResult(
@@ -126,6 +159,7 @@ class ConsumerCore:
         with self._lock:
             future = self._futures.pop(tasklet_id, None)
             submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+            ctx = self._trace_ctx.pop(tasklet_id, None)
         if future is None:
             return  # duplicate completion
         executions = [ExecutionRecord.from_dict(item) for item in body.executions]
@@ -144,15 +178,30 @@ class ConsumerCore:
             self.stats.completed += 1
         else:
             self.stats.failed += 1
+        self._record_finish(
+            tasklet_id,
+            ok=result.ok,
+            submitted_at=submitted_at,
+            ctx=ctx,
+            failure_kind=None if result.ok else self._failure_kind(result.error),
+        )
         future.resolve(result)
 
     def _resolve_failed(self, tasklet_id: TaskletId, reason: str) -> None:
         with self._lock:
             future = self._futures.pop(tasklet_id, None)
             submitted_at = self._submitted_at.pop(tasklet_id, 0.0)
+            ctx = self._trace_ctx.pop(tasklet_id, None)
         if future is None:
             return
         self.stats.failed += 1
+        self._record_finish(
+            tasklet_id,
+            ok=False,
+            submitted_at=submitted_at,
+            ctx=ctx,
+            failure_kind="rejected",
+        )
         future.resolve(
             TaskletResult(
                 tasklet_id=tasklet_id,
@@ -162,6 +211,51 @@ class ConsumerCore:
                 completed_at=self.clock.now(),
             )
         )
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _record_finish(
+        self,
+        tasklet_id: TaskletId,
+        ok: bool,
+        submitted_at: float,
+        ctx: TraceContext | None,
+        failure_kind: str | None,
+    ) -> None:
+        """Metrics and the root ``tasklet`` span for one resolved future."""
+        if self._metrics is None:
+            return
+        now = self.clock.now()
+        self._metrics.completed.labels(outcome="ok" if ok else "failed").inc()
+        if failure_kind is not None:
+            self._metrics.failures.labels(kind=failure_kind).inc()
+        self._metrics.latency.observe(max(0.0, now - submitted_at))
+        if self._tracer is not None and ctx is not None:
+            self._tracer.record(
+                name="tasklet",
+                context=ctx,
+                node=str(self.node_id),
+                start=submitted_at,
+                end=now,
+                status="ok" if ok else (failure_kind or "failed"),
+                attrs={"tasklet_id": str(tasklet_id)},
+            )
+
+    @staticmethod
+    def _failure_kind(error: str | None) -> str:
+        """Coarse error family for the ``failures_total`` counter."""
+        error = error or ""
+        if "disagreed" in error:
+            return "disagreement"
+        if "insufficient agreeing" in error:
+            return "insufficient_votes"
+        if "executions failed" in error:
+            return "executions_failed"
+        if "rejected by broker" in error:
+            return "rejected"
+        if "broker unreachable" in error:
+            return "broker_unreachable"
+        return "other"
 
     @property
     def pending(self) -> int:

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Protocol, Sequence
 
-from ..common.errors import TaskletError
-from ..common.ids import IdGenerator, TaskletId
+from ..common.ids import IdGenerator
 from ..common.rng import derive_seed
 from ..core.futures import TaskletFuture
 from ..core.qoc import QoC

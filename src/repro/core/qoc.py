@@ -30,7 +30,7 @@ at construction time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..common.errors import QoCUnsatisfiable

@@ -1,0 +1,59 @@
+"""Live telemetry: metrics registry, distributed tracing, profiling glue.
+
+Dependency-free observability for the Tasklet middleware.  Three pillars:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
+  and fixed-bucket histograms with labeled families, rendered as
+  Prometheus text exposition or a JSON snapshot;
+* :mod:`repro.obs.trace` — cross-node Tasklet tracing: a
+  :class:`TraceContext` rides on envelopes so one Tasklet's life
+  (submit → place → assign → execute → result) becomes a single
+  reconstructable span tree, stored in an in-memory ring buffer;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the cores
+  accept, plus per-subsystem metric bundles (broker, provider, consumer,
+  transport).
+
+Everything is strictly opt-in: every instrumented core takes
+``telemetry=None`` and the disabled path reduces to one ``is not None``
+check per event (guarded by ``benchmarks/bench_micro_telemetry.py``).
+"""
+
+from .bridge import publish_broker_stats, publish_summary
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    parse_prometheus,
+)
+from .trace import Span, SpanStore, TraceContext, Tracer, build_trace_tree, format_trace
+from .telemetry import (
+    BrokerMetrics,
+    ConsumerMetrics,
+    ProviderMetrics,
+    Telemetry,
+    TransportMetrics,
+)
+
+__all__ = [
+    "BrokerMetrics",
+    "ConsumerMetrics",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProviderMetrics",
+    "Span",
+    "SpanStore",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "TransportMetrics",
+    "build_trace_tree",
+    "format_trace",
+    "parse_prometheus",
+    "publish_broker_stats",
+    "publish_summary",
+]

@@ -22,11 +22,12 @@ heartbeat composition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..common.clock import Clock
 from ..common.ids import NodeId
-from ..core.results import ExecutionStatus
+from ..obs.telemetry import ProviderMetrics, Telemetry
+from ..obs.trace import TraceContext
 from ..transport.message import (
     AssignExecution,
     BROKER_ADDRESS,
@@ -41,7 +42,7 @@ from ..transport.message import (
     Unregister,
     body_of,
 )
-from .executor import TaskletExecutor
+from .executor import PROGRAM_CACHE_SIZE, TaskletExecutor
 from .failure import ExecutionFailureModel, FaultKind, corrupt_value
 
 #: Outbound message with a virtual delay before it is handed to the network.
@@ -62,6 +63,10 @@ class ProviderConfig:
     #: in virtual seconds; the F2 overhead-breakdown experiment sweeps it.
     startup_overhead_s: float = 0.002
     max_queue: int = 1024  # assignments queued beyond busy slots
+    #: Distinct verified programs the executor keeps in its LRU.
+    program_cache_size: int = PROGRAM_CACHE_SIZE
+    #: Collect a per-execution TVM profile (opcode groups, stack depth).
+    profile_executions: bool = False
 
     def reported_score(self) -> float:
         return self.benchmark_score if self.benchmark_score is not None else self.speed_ips
@@ -88,6 +93,7 @@ class ProviderCore:
         config: ProviderConfig | None = None,
         failure_model: ExecutionFailureModel | None = None,
         broker: NodeId = BROKER_ADDRESS,
+        telemetry: Telemetry | None = None,
     ):
         self.node_id = node_id
         self.clock = clock
@@ -98,7 +104,14 @@ class ProviderCore:
             raise ValueError(f"speed must be positive, got {self.config.speed_ips}")
         self.broker = broker
         self.failure_model = failure_model or ExecutionFailureModel()
-        self.executor = TaskletExecutor()
+        self.telemetry = telemetry
+        self._metrics = ProviderMetrics(telemetry.registry) if telemetry else None
+        self._tracer = telemetry.tracer if telemetry else None
+        self.executor = TaskletExecutor(
+            cache_size=self.config.program_cache_size,
+            profile=self.config.profile_executions,
+            metrics=self._metrics,
+        )
         self.stats = ProviderCoreStats()
         self.registered = False
         #: Virtual time at which each slot becomes free.
@@ -133,6 +146,10 @@ class ProviderCore:
         free = sum(
             1 for free_at in self._slot_free_at if free_at <= self.clock.now()
         )
+        if self._metrics is not None:
+            self._metrics.busy_slots.labels(provider=str(self.node_id)).set(
+                self.config.capacity - free
+            )
         heartbeat = Heartbeat(
             provider_id=self.node_id, free_slots=free, queue_length=0
         )
@@ -150,7 +167,7 @@ class ProviderCore:
             self.registered = False
             return self.start()
         if isinstance(body, AssignExecution):
-            return self._on_assign(body)
+            return self._on_assign(body, envelope.trace)
         if isinstance(body, CancelExecution):
             # The slot model decides results at assignment time, so by
             # the time a cancel arrives the result is already "on the
@@ -161,7 +178,9 @@ class ProviderCore:
 
     # -- execution ----------------------------------------------------------
 
-    def _on_assign(self, request: AssignExecution) -> list[Outbound]:
+    def _on_assign(
+        self, request: AssignExecution, trace: dict[str, str] | None = None
+    ) -> list[Outbound]:
         now = self.clock.now()
         # Pick the earliest-free slot; model a bounded queue.
         slot = min(range(len(self._slot_free_at)), key=self._slot_free_at.__getitem__)
@@ -169,6 +188,8 @@ class ProviderCore:
         queue_delay = start_at - now
         if queue_delay > 0 and self._queued_count(now) >= self.config.max_queue:
             self.stats.rejected += 1
+            if self._metrics is not None:
+                self._metrics.rejected.inc()
             rejection = ExecutionRejected(
                 execution_id=request.execution_id,
                 tasklet_id=request.tasklet_id,
@@ -187,6 +208,25 @@ class ProviderCore:
         finished_at = start_at + service_time
         self._slot_free_at[slot] = finished_at
         self.stats.busy_seconds += service_time
+        if self._metrics is not None:
+            self._metrics.executions.labels(status=outcome.status.value).inc()
+            self._metrics.execution_seconds.observe(service_time)
+        if self._tracer is not None:
+            parent = TraceContext.from_dict(trace)
+            if parent is not None:
+                self._tracer.record(
+                    name="provider.execute",
+                    context=self._tracer.child(parent),
+                    node=str(self.node_id),
+                    start=start_at,
+                    end=finished_at,
+                    parent_id=parent.span_id,
+                    status="ok" if outcome.ok else outcome.status.value,
+                    attrs={
+                        "execution_id": str(request.execution_id),
+                        "instructions": outcome.instructions,
+                    },
+                )
 
         value = outcome.value
         status = outcome.status

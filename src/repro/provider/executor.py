@@ -14,26 +14,36 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import VMError
 from ..core.results import ExecutionStatus
 from ..tvm.bytecode import CompiledProgram
-from ..tvm.vm import TVM, VMLimits
+from ..tvm.vm import TVM, VMLimits, VMProfile
 from ..transport.message import AssignExecution
 
-#: How many distinct programs a provider keeps verified in memory.
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import ProviderMetrics
+
+#: Default number of distinct programs a provider keeps verified in
+#: memory; override per executor with ``TaskletExecutor(cache_size=...)``.
 PROGRAM_CACHE_SIZE = 64
 
 
 @dataclass
 class ExecutionOutcome:
-    """What one execution attempt produced."""
+    """What one execution attempt produced.
+
+    ``profile`` is the optional TVM execution profile (opcode groups,
+    peak stack depth, wall time), present only when the executor was
+    built with ``profile=True``.
+    """
 
     status: ExecutionStatus
     value: Any = None
     error: str | None = None
     instructions: int = 0
+    profile: VMProfile | None = None
 
     @property
     def ok(self) -> bool:
@@ -41,13 +51,31 @@ class ExecutionOutcome:
 
 
 class TaskletExecutor:
-    """Executes assignments on this host's TVM."""
+    """Executes assignments on this host's TVM.
 
-    def __init__(self, cache_size: int = PROGRAM_CACHE_SIZE):
+    ``metrics`` is an optional :class:`~repro.obs.telemetry.ProviderMetrics`
+    bundle; when attached, program-cache hits/misses and retired
+    instruction counts are reported through its registry.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = PROGRAM_CACHE_SIZE,
+        profile: bool = False,
+        metrics: "ProviderMetrics | None" = None,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._cache: OrderedDict[str, CompiledProgram] = OrderedDict()
         self._cache_size = cache_size
+        self._profile = profile
+        self._metrics = metrics
         self.cache_hits = 0
         self.cache_misses = 0
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
 
     def _load_program(self, program_dict: dict, claimed_fingerprint: str) -> CompiledProgram:
         """Return a verified program, via the cache when possible.
@@ -62,9 +90,13 @@ class TaskletExecutor:
             cached = self._cache.get(claimed_fingerprint)
             if cached is not None:
                 self.cache_hits += 1
+                if self._metrics is not None:
+                    self._metrics.program_cache.labels(result="hit").inc()
                 self._cache.move_to_end(claimed_fingerprint)
                 return cached
         self.cache_misses += 1
+        if self._metrics is not None:
+            self._metrics.program_cache.labels(result="miss").inc()
         program = CompiledProgram.from_dict(program_dict)
         key = program.fingerprint()
         if claimed_fingerprint and claimed_fingerprint != key:
@@ -81,6 +113,7 @@ class TaskletExecutor:
 
     def execute(self, request: AssignExecution) -> ExecutionOutcome:
         """Run one assignment to completion (success or VM failure)."""
+        machine = None
         try:
             program = self._load_program(
                 request.program, request.program_fingerprint
@@ -90,15 +123,27 @@ class TaskletExecutor:
                 limits=VMLimits(fuel=request.fuel),
                 seed=request.seed,
                 verify=False,  # verified on cache insertion
+                profile=self._profile,
             )
             value = machine.run(request.entry, list(request.args))
-            return ExecutionOutcome(
+            outcome = ExecutionOutcome(
                 status=ExecutionStatus.SUCCESS,
                 value=value,
                 instructions=machine.stats.instructions,
+                profile=machine.profile,
             )
         except VMError as exc:
-            return ExecutionOutcome(
+            # instructions stays 0 on failure: billing and the virtual
+            # service-time model only ever charge successful work.
+            outcome = ExecutionOutcome(
                 status=ExecutionStatus.VM_ERROR,
                 error=f"{type(exc).__name__}: {exc}",
+                profile=machine.profile if machine else None,
             )
+        if self._metrics is not None:
+            if outcome.instructions:
+                self._metrics.vm_instructions.inc(outcome.instructions)
+            if outcome.profile is not None:
+                for group, count in outcome.profile.opcode_groups.items():
+                    self._metrics.vm_opcodes.labels(group=group).inc(count)
+        return outcome

@@ -71,6 +71,17 @@ class MetricsSummary:
             return None
         return max(self.providers.values(), key=lambda p: p.mean_utilization)
 
+    def publish(self, registry) -> None:
+        """Publish this summary into an obs registry (``repro_sim_*``).
+
+        ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry`; the
+        summary lands next to the live instrumentation so one Prometheus
+        exposition covers both.
+        """
+        from ..obs.bridge import publish_summary
+
+        publish_summary(registry, self)
+
 
 class MetricsCollector:
     """Samples a simulation's state on a virtual-time cadence."""

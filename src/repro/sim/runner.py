@@ -24,7 +24,7 @@ provider re-registers with a fresh incarnation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..broker.core import BrokerConfig, BrokerCore
 from ..broker.scheduling import Strategy, make_strategy
@@ -34,12 +34,13 @@ from ..consumer.core import ConsumerCore
 from ..consumer.library import TaskletLibrary
 from ..core.futures import TaskletFuture
 from ..core.tasklet import Tasklet
+from ..obs.telemetry import Telemetry
 from ..provider.core import ProviderConfig, ProviderCore
 from ..provider.failure import ExecutionFailureModel
 from ..sim.churn import ChurnModel
 from ..sim.eventloop import EventLoop
 from ..sim.network import ConstantLatency, NetworkModel
-from ..transport.message import BROKER_ADDRESS, Envelope
+from ..transport.message import Envelope
 
 
 @dataclass
@@ -56,7 +57,11 @@ class SimConsumer:
     def __init__(self, simulation: "Simulation", node_id: NodeId, base_seed: int):
         self.simulation = simulation
         self.node_id = node_id
-        self.core = ConsumerCore(node_id=node_id, clock=simulation.loop.clock)
+        self.core = ConsumerCore(
+            node_id=node_id,
+            clock=simulation.loop.clock,
+            telemetry=simulation.telemetry,
+        )
         self.library = TaskletLibrary(session=self, base_seed=base_seed)
 
     # -- Session protocol ----------------------------------------------------
@@ -81,18 +86,23 @@ class Simulation:
         network: NetworkModel | None = None,
         broker_config: BrokerConfig | None = None,
         tick_interval: float = 0.5,
+        telemetry: Telemetry | None = None,
     ):
         self.loop = EventLoop()
         self.rng = RngRegistry(seed)
         self.seed = seed
         self.ids = IdGenerator()
         self.network = network or ConstantLatency(0.005)
+        #: Shared by every core in this simulation (one registry, one span
+        #: store), so the cross-node span tree lands in one place.
+        self.telemetry = telemetry
         if isinstance(strategy, str):
             strategy = make_strategy(strategy, seed=seed)
         self.broker = BrokerCore(
             clock=self.loop.clock,
             strategy=strategy,
             config=broker_config or BrokerConfig(),
+            telemetry=telemetry,
         )
         self.providers: dict[NodeId, _SimProvider] = {}
         self.consumers: dict[NodeId, SimConsumer] = {}
@@ -119,6 +129,7 @@ class Simulation:
             clock=self.loop.clock,
             config=config,
             failure_model=failure_model,
+            telemetry=self.telemetry,
         )
         sim_provider = _SimProvider(core=core)
         self.providers[node_id] = sim_provider

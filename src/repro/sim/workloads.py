@@ -9,8 +9,8 @@ randomness is involved), so every experiment run sees the same work.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any
 
 from ..core import kernels
 from ..tvm.bytecode import CompiledProgram

@@ -10,6 +10,7 @@ The protocol (arrows show direction; B=broker, P=provider, C=consumer)::
     P -> B   REGISTER_PROVIDER      join the provider pool
     B -> P   REGISTER_ACK           accept/reject
     P -> B   HEARTBEAT              liveness + load report
+    B -> P   HEARTBEAT_ACK          timestamp echo (RTT telemetry, optional)
     P -> B   UNREGISTER             graceful leave
     C -> B   SUBMIT_TASKLET         new Tasklet with QoC goals
     B -> C   SUBMIT_ACK             accepted / no provider / bad request
@@ -27,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar, Type
 
 from ..common.errors import TransportError
-from ..common.ids import ExecutionId, NodeId, TaskletId
+from ..common.ids import NodeId
 
 #: Broadcast / well-known addresses.
 BROKER_ADDRESS = NodeId("broker")
@@ -43,32 +44,45 @@ _envelope_counter = itertools.count()
 
 @dataclass
 class Envelope:
-    """Routable wrapper around one message body."""
+    """Routable wrapper around one message body.
+
+    ``trace`` is the optional telemetry trace context —
+    ``{"trace_id": ..., "span_id": ...}`` — that lets receivers parent
+    their spans on the sender's (see :mod:`repro.obs.trace`).  ``None``
+    (telemetry disabled, or an untraced message type) is omitted from
+    the wire form entirely, so the disabled path costs zero bytes.
+    """
 
     type: str
     src: NodeId
     dst: NodeId
     payload: dict[str, Any]
     seq: int = field(default_factory=lambda: next(_envelope_counter))
+    trace: dict[str, str] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "type": self.type,
             "src": self.src,
             "dst": self.dst,
             "payload": self.payload,
             "seq": self.seq,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Envelope":
         try:
+            trace = data.get("trace")
             return cls(
                 type=str(data["type"]),
                 src=NodeId(data["src"]),
                 dst=NodeId(data["dst"]),
                 payload=dict(data["payload"]),
                 seq=int(data.get("seq", 0)),
+                trace=dict(trace) if trace else None,
             )
         except (KeyError, TypeError) as exc:
             raise TransportError(f"malformed envelope: {exc}") from exc
@@ -159,11 +173,32 @@ class Unregister(MessageBody):
 @_message("heartbeat")
 @dataclass
 class Heartbeat(MessageBody):
-    """Periodic liveness + load report; also the failure detector input."""
+    """Periodic liveness + load report; also the failure detector input.
+
+    ``sent_at`` is the sender's monotonic send timestamp; when non-zero
+    the broker echoes it back in a :class:`HeartbeatAck` so the provider
+    can measure its heartbeat round-trip time.  Zero (the default, used
+    by the simulator) requests no ack, keeping simulated message flows
+    unchanged.
+    """
 
     provider_id: str
     free_slots: int
     queue_length: int = 0
+    sent_at: float = 0.0
+
+
+@_message("heartbeat_ack")
+@dataclass
+class HeartbeatAck(MessageBody):
+    """Echo of a timestamped heartbeat (RTT measurement, telemetry only).
+
+    Peers that predate this message ignore unknown envelope types, so
+    the ack is safe to send to any provider that asked for it.
+    """
+
+    provider_id: str
+    echo_sent_at: float
 
 
 @_message("assign_execution")

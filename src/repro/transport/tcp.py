@@ -52,8 +52,10 @@ from ..consumer.core import ConsumerCore
 from ..consumer.library import TaskletLibrary
 from ..core.futures import TaskletFuture
 from ..core.tasklet import Tasklet
+from ..obs.telemetry import ProviderMetrics, Telemetry, TransportMetrics
+from ..obs.trace import TraceContext
 from ..provider.benchmark import run_benchmark
-from ..provider.executor import TaskletExecutor
+from ..provider.executor import PROGRAM_CACHE_SIZE, TaskletExecutor
 from ..transport.message import (
     AssignExecution,
     BROKER_ADDRESS,
@@ -62,6 +64,7 @@ from ..transport.message import (
     ExecutionRejected,
     ExecutionResult,
     Heartbeat,
+    HeartbeatAck,
     REASON_UNKNOWN_PROVIDER,
     RegisterAck,
     RegisterProvider,
@@ -73,12 +76,19 @@ _RECV_CHUNK = 65536
 
 
 class _Connection:
-    """One framed, thread-safe TCP connection."""
+    """One framed, thread-safe TCP connection.
 
-    def __init__(self, sock: socket.socket):
+    ``metrics`` is an optional :class:`TransportMetrics` bundle; when
+    attached, framed bytes and envelope counts are reported per direction.
+    """
+
+    def __init__(
+        self, sock: socket.socket, metrics: TransportMetrics | None = None
+    ):
         self.sock = sock
         self.reader = FrameReader()
         self._send_lock = threading.Lock()
+        self._metrics = metrics
         self.peer_id: NodeId | None = None  # learned from first envelope
 
     def send(self, envelope: Envelope) -> None:
@@ -88,6 +98,9 @@ class _Connection:
                 self.sock.sendall(data)
             except OSError as exc:
                 raise ConnectionClosed(f"send failed: {exc}") from exc
+        if self._metrics is not None:
+            self._metrics.bytes.labels(direction="out").inc(len(data))
+            self._metrics.messages.labels(direction="out").inc()
 
     def recv_envelopes(self) -> list[Envelope] | None:
         """Block for data; completed envelopes, or ``None`` on EOF/garbage.
@@ -103,9 +116,16 @@ class _Connection:
         if not chunk:
             return None
         try:
-            return [Envelope.from_dict(frame) for frame in self.reader.feed(chunk)]
+            envelopes = [
+                Envelope.from_dict(frame) for frame in self.reader.feed(chunk)
+            ]
         except TransportError:
             return None
+        if self._metrics is not None:
+            self._metrics.bytes.labels(direction="in").inc(len(chunk))
+            if envelopes:
+                self._metrics.messages.labels(direction="in").inc(len(envelopes))
+        return envelopes
 
     def close(self) -> None:
         try:
@@ -115,11 +135,16 @@ class _Connection:
         self.sock.close()
 
 
-def _connect(host: str, port: int, timeout: float = 10.0) -> _Connection:
+def _connect(
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    metrics: TransportMetrics | None = None,
+) -> _Connection:
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(None)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    return _Connection(sock)
+    return _Connection(sock, metrics=metrics)
 
 
 class TcpBroker:
@@ -131,8 +156,13 @@ class TcpBroker:
         port: int = 0,
         strategy: str = "qoc",
         config: BrokerConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config or BrokerConfig()
+        self.telemetry = telemetry
+        self._transport_metrics = (
+            TransportMetrics(telemetry.registry) if telemetry else None
+        )
         self.core = BrokerCore(
             clock=WallClock(),
             strategy=make_strategy(strategy),
@@ -141,6 +171,7 @@ class TcpBroker:
             # execution id that a previous incarnation already used (a
             # provider could still answer the old one).
             id_generator=IdGenerator(namespace=uuid.uuid4().hex[:8]),
+            telemetry=telemetry,
         )
         self._core_lock = threading.Lock()
         self._connections: dict[NodeId, _Connection] = {}
@@ -189,6 +220,10 @@ class TcpBroker:
             self._connections.clear()
         for connection in connections:
             connection.close()
+        if self._transport_metrics is not None and connections:
+            # Reader threads skip their own dec once a connection left
+            # ``_accepted``, so this is the only decrement for these.
+            self._transport_metrics.connections.dec(len(connections))
         for thread in self._threads:
             thread.join(timeout=0.1)
 
@@ -207,9 +242,11 @@ class TcpBroker:
             except OSError:
                 return  # listener closed
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            connection = _Connection(sock)
+            connection = _Connection(sock, metrics=self._transport_metrics)
             with self._connections_lock:
                 self._accepted.add(connection)
+            if self._transport_metrics is not None:
+                self._transport_metrics.connections.inc()
             thread = threading.Thread(
                 target=self._reader_loop, args=(connection,), daemon=True
             )
@@ -235,12 +272,15 @@ class TcpBroker:
         # Connection gone: a provider that drops TCP is handled by the
         # heartbeat failure detector; nothing else to do here.
         with self._connections_lock:
+            dropped = connection in self._accepted
             self._accepted.discard(connection)
             if (
                 connection.peer_id is not None
                 and self._connections.get(connection.peer_id) is connection
             ):
                 del self._connections[connection.peer_id]
+        if dropped and self._transport_metrics is not None:
+            self._transport_metrics.connections.dec()
 
     def _tick_loop(self) -> None:
         interval = self.config.heartbeat_interval / 2.0
@@ -287,6 +327,9 @@ class TcpProvider:
         reconnect: bool = True,
         reconnect_backoff: float = 0.2,
         reconnect_backoff_max: float = 5.0,
+        telemetry: Telemetry | None = None,
+        program_cache_size: int = PROGRAM_CACHE_SIZE,
+        profile_executions: bool = False,
     ):
         self.node_id = NodeId(node_id or random_id("prov"))
         self.capacity = capacity
@@ -296,9 +339,19 @@ class TcpProvider:
         self.reconnect = reconnect
         self.reconnect_backoff = reconnect_backoff
         self.reconnect_backoff_max = reconnect_backoff_max
+        self.telemetry = telemetry
+        self._metrics = ProviderMetrics(telemetry.registry) if telemetry else None
+        self._transport_metrics = (
+            TransportMetrics(telemetry.registry) if telemetry else None
+        )
+        self._tracer = telemetry.tracer if telemetry else None
         self._score = benchmark_score  # measured once, cached for re-registration
         self._clock = WallClock()
-        self._executor = TaskletExecutor()
+        self._executor = TaskletExecutor(
+            cache_size=program_cache_size,
+            profile=profile_executions,
+            metrics=self._metrics,
+        )
         self._pool: ThreadPoolExecutor | None = None
         self._connection: _Connection | None = None
         self._running = threading.Event()
@@ -326,7 +379,9 @@ class TcpProvider:
     def start(self) -> "TcpProvider":
         if self._score is None:
             self._score = run_benchmark().score
-        self._connection = _connect(*self._broker)
+        self._connection = _connect(
+            *self._broker, metrics=self._transport_metrics
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.capacity, thread_name_prefix=f"{self.node_id}-exec"
         )
@@ -420,7 +475,9 @@ class TcpProvider:
                 return
             backoff = min(backoff * 2.0, self.reconnect_backoff_max)
             try:
-                candidate = _connect(*self._broker, timeout=5.0)
+                candidate = _connect(
+                    *self._broker, timeout=5.0, metrics=self._transport_metrics
+                )
             except OSError:
                 continue
             self._connection = candidate
@@ -430,6 +487,8 @@ class TcpProvider:
                 self._connection = None
                 candidate.close()
                 continue
+            if self._transport_metrics is not None:
+                self._transport_metrics.reconnects.inc()
             connection = candidate
             backoff = self.reconnect_backoff
 
@@ -444,7 +503,12 @@ class TcpProvider:
                 except TransportError:
                     continue  # unknown message type: forward compatibility
                 if isinstance(body, AssignExecution):
-                    self._on_assign(body)
+                    self._on_assign(body, envelope.trace)
+                elif isinstance(body, HeartbeatAck):
+                    if self._transport_metrics is not None and body.echo_sent_at:
+                        self._transport_metrics.heartbeat_rtt.observe(
+                            max(0.0, time.monotonic() - body.echo_sent_at)
+                        )
                 elif isinstance(body, CancelExecution):
                     with self._state_lock:
                         # Only executions still in flight can be
@@ -463,8 +527,12 @@ class TcpProvider:
                         except (ConnectionClosed, TransportError):
                             return
 
-    def _on_assign(self, request: AssignExecution) -> None:
+    def _on_assign(
+        self, request: AssignExecution, trace: dict[str, str] | None = None
+    ) -> None:
         if self._draining.is_set() or self._pool is None:
+            if self._metrics is not None:
+                self._metrics.rejected.inc()
             rejection = ExecutionRejected(
                 execution_id=request.execution_id,
                 tasklet_id=request.tasklet_id,
@@ -478,13 +546,25 @@ class TcpProvider:
             return
         with self._state_lock:
             self._inflight.add(request.execution_id)
-        self._pool.submit(self._execute, request, self._epoch)
+        self._pool.submit(self._execute, request, self._epoch, trace)
 
     def _heartbeat_loop(self) -> None:
         while not self._stop_event.wait(self.heartbeat_interval):
             with self._active_lock:
-                free = max(0, self.capacity - self._active)
-            heartbeat = Heartbeat(provider_id=self.node_id, free_slots=free)
+                active = self._active
+                free = max(0, self.capacity - active)
+            if self._metrics is not None:
+                self._metrics.busy_slots.labels(provider=str(self.node_id)).set(
+                    active
+                )
+            # A non-zero timestamp asks the broker for an ack (RTT
+            # telemetry); without telemetry the flows stay ack-free.
+            sent_at = (
+                time.monotonic() if self._transport_metrics is not None else 0.0
+            )
+            heartbeat = Heartbeat(
+                provider_id=self.node_id, free_slots=free, sent_at=sent_at
+            )
             try:
                 self._send(heartbeat.envelope(self.node_id, BROKER_ADDRESS))
             except (ConnectionClosed, TransportError):
@@ -510,7 +590,12 @@ class TcpProvider:
                 self._idle.wait(remaining)
         return True
 
-    def _execute(self, request: AssignExecution, epoch: int) -> None:
+    def _execute(
+        self,
+        request: AssignExecution,
+        epoch: int,
+        trace: dict[str, str] | None = None,
+    ) -> None:
         with self._state_lock:
             if request.execution_id in self._cancelled:
                 self._cancelled.discard(request.execution_id)
@@ -527,6 +612,25 @@ class TcpProvider:
             with self._active_lock:
                 self._active -= 1
         finished = self._clock.now()
+        if self._metrics is not None:
+            self._metrics.executions.labels(status=outcome.status.value).inc()
+            self._metrics.execution_seconds.observe(finished - started)
+        if self._tracer is not None:
+            parent = TraceContext.from_dict(trace)
+            if parent is not None:
+                self._tracer.record(
+                    name="provider.execute",
+                    context=self._tracer.child(parent),
+                    node=str(self.node_id),
+                    start=started,
+                    end=finished,
+                    parent_id=parent.span_id,
+                    status="ok" if outcome.ok else outcome.status.value,
+                    attrs={
+                        "execution_id": str(request.execution_id),
+                        "instructions": outcome.instructions,
+                    },
+                )
         if self._finish_execution(request.execution_id):
             return
         if epoch != self._epoch:
@@ -564,10 +668,17 @@ class TcpConsumer:
         node_id: str | None = None,
         base_seed: int = 0,
         on_disconnect=None,
+        telemetry: Telemetry | None = None,
     ):
         self.node_id = NodeId(node_id or random_id("cons"))
         self._clock = WallClock()
-        self.core = ConsumerCore(node_id=self.node_id, clock=self._clock)
+        self.telemetry = telemetry
+        self._transport_metrics = (
+            TransportMetrics(telemetry.registry) if telemetry else None
+        )
+        self.core = ConsumerCore(
+            node_id=self.node_id, clock=self._clock, telemetry=telemetry
+        )
         self.library = TaskletLibrary(session=self, base_seed=base_seed)
         self.on_disconnect = on_disconnect
         self._broker = (broker_host, broker_port)
@@ -576,7 +687,9 @@ class TcpConsumer:
         self._disconnected = threading.Event()
 
     def start(self) -> "TcpConsumer":
-        self._connection = _connect(*self._broker)
+        self._connection = _connect(
+            *self._broker, metrics=self._transport_metrics
+        )
         self._running.set()
         threading.Thread(
             target=self._reader_loop, name=f"{self.node_id}-reader", daemon=True

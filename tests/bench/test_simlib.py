@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.bench.simlib import RunOutcome, run_workload
 from repro.broker.core import BrokerConfig

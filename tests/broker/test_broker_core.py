@@ -1,6 +1,5 @@
 """Broker core lifecycle, driven with scripted envelopes and a manual clock."""
 
-import pytest
 
 from repro.broker.core import BrokerConfig, BrokerCore
 from repro.broker.scheduling import LeastLoadedStrategy
@@ -300,7 +299,6 @@ class TestUnregister:
         harness.add_provider("p1", capacity=1)
         harness.add_provider("p2", capacity=1)
         _tid, replies = harness.submit(qoc=QoC(max_attempts=2))
-        first = bodies(replies, AssignExecution)[0]
         first_dst = [dst for dst, body in replies if isinstance(body, AssignExecution)][0]
         other = "p2" if first_dst == "p1" else "p1"
         replies = harness.send(Unregister(provider_id=first_dst), src=first_dst)

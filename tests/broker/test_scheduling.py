@@ -46,6 +46,15 @@ def test_make_strategy_unknown_name():
         make_strategy("nope")
 
 
+def test_qoc_strategy_takes_no_seed():
+    # QoC scoring is deterministic; the constructor must not pretend
+    # otherwise by accepting (and ignoring) a seed.
+    with pytest.raises(TypeError):
+        QoCStrategy(seed=1)
+    # make_strategy still accepts seed for the genuinely random strategy.
+    assert make_strategy("qoc", seed=5).name == "qoc"
+
+
 @pytest.mark.parametrize("name", ALL_STRATEGY_NAMES)
 def test_selection_invariants(name):
     strategy = make_strategy(name, seed=1)

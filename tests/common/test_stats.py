@@ -1,6 +1,5 @@
 """Statistics toolkit, checked against Python's statistics / numpy."""
 
-import math
 import statistics
 
 import numpy
@@ -56,6 +55,38 @@ def test_percentile_rejects_bad_q():
         percentile([1.0], 101)
     with pytest.raises(ValueError):
         percentile([1.0], -1)
+
+
+def test_percentile_of_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+def test_percentile_single_sample_ignores_q():
+    for q in (0.0, 37.5, 50.0, 100.0):
+        assert percentile([7.25], q) == 7.25
+
+
+def test_percentile_q0_is_min_and_q100_is_max():
+    values = [9.0, -3.0, 4.5, 0.0]
+    assert percentile(values, 0.0) == -3.0
+    assert percentile(values, 100.0) == 9.0
+
+
+def test_percentile_linear_interpolation_known_values():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 50.0) == pytest.approx(25.0)
+    assert percentile(values, 25.0) == pytest.approx(17.5)
+    assert percentile(values, 75.0) == pytest.approx(32.5)
+    assert percentile([1.0, 2.0], 50.0) == pytest.approx(1.5)
+
+
+def test_percentile_sorts_unsorted_input():
+    assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+
+def test_variance_of_constant_sequence_is_zero():
+    assert variance([5.0, 5.0, 5.0, 5.0]) == 0.0
 
 
 def test_empty_sequences_rejected():

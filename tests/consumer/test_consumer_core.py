@@ -3,7 +3,6 @@
 from repro.common.clock import VirtualClock
 from repro.common.ids import NodeId, TaskletId
 from repro.consumer.core import ConsumerCore
-from repro.core.qoc import QoC
 from repro.core.results import TaskletResult
 from repro.core.tasklet import Tasklet
 from repro.transport.message import (

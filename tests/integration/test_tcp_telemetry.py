@@ -1,0 +1,125 @@
+"""Integration: telemetry over real TCP sockets.
+
+Broker, provider, and consumer share one :class:`Telemetry` (the normal
+co-located test arrangement), so one Tasklet's spans — recorded on three
+different "nodes" across threads — land in one store and reassemble into
+a single tree, and the exposition carries all four subsystem families.
+"""
+
+import time
+
+import pytest
+
+from repro.core import kernels
+from repro.obs import Telemetry, build_trace_tree, parse_prometheus
+from repro.obs.metrics import iter_metric_names
+from repro.transport.tcp import TcpBroker, TcpConsumer, TcpProvider
+
+from .test_tcp import wait_for_registration
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+@pytest.fixture
+def broker(telemetry):
+    server = TcpBroker(telemetry=telemetry).start()
+    yield server
+    server.stop()
+
+
+def run_tasklets(broker, telemetry, tasks=2):
+    host, port = broker.address
+    provider = TcpProvider(
+        host, port, node_id="p1", benchmark_score=1e7, capacity=2,
+        telemetry=telemetry,
+    )
+    with provider:
+        wait_for_registration(broker, 1)
+        with TcpConsumer(host, port, telemetry=telemetry) as consumer:
+            futures = consumer.library.map(
+                kernels.PRIME_COUNT, [[300]] * tasks
+            )
+            values = consumer.library.gather(futures, timeout=60)
+            assert values == [kernels.python_prime_count(300)] * tasks
+
+
+def test_tcp_run_produces_complete_span_trees(broker, telemetry):
+    run_tasklets(broker, telemetry, tasks=2)
+    trace_ids = telemetry.spans.trace_ids()
+    assert len(trace_ids) == 2
+    for trace_id in trace_ids:
+        roots = build_trace_tree(telemetry.spans.for_trace(trace_id))
+        assert len(roots) == 1, "spans from all three nodes join one tree"
+        root = roots[0]
+        assert root.span.name == "tasklet"
+        assert root.span.status == "ok"
+        names = []
+
+        def walk(node):
+            names.append(node.span.name)
+            for child in node.children:
+                walk(child)
+
+        walk(root)
+        assert names == [
+            "tasklet", "broker.tasklet", "broker.assign", "provider.execute"
+        ]
+        # Three distinct nodes contributed spans to the one trace.
+        nodes = {span.node for span in telemetry.spans.for_trace(trace_id)}
+        assert len(nodes) == 3
+
+
+def test_tcp_exposition_covers_all_four_subsystems(broker, telemetry):
+    run_tasklets(broker, telemetry, tasks=1)
+    text = telemetry.registry.render_prometheus()
+    names = set(iter_metric_names(text))
+    for expected in (
+        "repro_broker_tasklets_completed_total",
+        "repro_provider_executions_total",
+        "repro_consumer_latency_seconds",
+        "repro_transport_bytes_total",
+        "repro_transport_messages_total",
+        "repro_transport_connections",
+    ):
+        assert expected in names, f"missing family {expected}"
+    parsed = parse_prometheus(text)
+    assert parsed["repro_transport_bytes_total"]['direction="in"'] > 0
+    assert parsed["repro_transport_bytes_total"]['direction="out"'] > 0
+    assert parsed["repro_transport_messages_total"]['direction="in"'] > 0
+    assert parsed["repro_provider_executions_total"]['status="success"'] == 1
+
+
+def test_heartbeat_rtt_is_observed(telemetry):
+    from repro.broker.core import BrokerConfig
+
+    server = TcpBroker(
+        config=BrokerConfig(heartbeat_interval=0.05),
+        telemetry=telemetry,
+    ).start()
+    try:
+        host, port = server.address
+        with TcpProvider(
+            host, port, node_id="p1", benchmark_score=1e7,
+            telemetry=telemetry,
+        ):
+            wait_for_registration(server, 1)
+            rtt = telemetry.registry.get("repro_transport_heartbeat_rtt_seconds")
+            deadline = time.perf_counter() + 10.0
+            while rtt.count == 0 and time.perf_counter() < deadline:
+                time.sleep(0.02)
+            assert rtt.count > 0, "no heartbeat round trip measured"
+            assert rtt.sum >= 0.0
+    finally:
+        server.stop()
+
+
+def test_connections_gauge_returns_to_zero(broker, telemetry):
+    run_tasklets(broker, telemetry, tasks=1)
+    gauge = telemetry.registry.get("repro_transport_connections")
+    deadline = time.perf_counter() + 10.0
+    while gauge.value != 0 and time.perf_counter() < deadline:
+        time.sleep(0.02)
+    assert gauge.value == 0

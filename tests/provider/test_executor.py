@@ -118,6 +118,59 @@ def test_missing_fingerprint_still_works():
     assert outcome.ok and outcome.value == 10
 
 
+def test_cache_size_zero_disables_caching():
+    executor = TaskletExecutor(cache_size=0)
+    for n in range(3):
+        assert executor.execute(assignment(n)).ok
+    assert executor.cache_misses == 3
+    assert executor.cache_hits == 0
+
+
+def test_negative_cache_size_rejected():
+    with pytest.raises(ValueError):
+        TaskletExecutor(cache_size=-1)
+
+
+def test_cache_hit_refreshes_lru_order():
+    executor = TaskletExecutor(cache_size=2)
+    programs = [
+        compile_source(f"func main(n: int) -> int {{ return n * {i + 2}; }}")
+        for i in range(3)
+    ]
+    executor.execute(assignment(1, program=programs[0]))
+    executor.execute(assignment(1, program=programs[1]))
+    executor.execute(assignment(1, program=programs[0]))  # refresh 0
+    executor.execute(assignment(1, program=programs[2]))  # evicts 1, not 0
+    misses = executor.cache_misses
+    executor.execute(assignment(1, program=programs[0]))
+    assert executor.cache_misses == misses  # still cached
+
+
+def test_cache_metrics_flow_into_registry():
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import ProviderMetrics
+
+    registry = MetricsRegistry()
+    executor = TaskletExecutor(metrics=ProviderMetrics(registry))
+    for n in range(3):
+        executor.execute(assignment(n))
+    cache = registry.get("repro_provider_program_cache_total")
+    assert cache.labels(result="miss").value == 1
+    assert cache.labels(result="hit").value == 2
+    instructions = registry.get("repro_provider_vm_instructions_total")
+    assert instructions.value > 0
+
+
+def test_profiled_outcome_carries_vm_profile():
+    executor = TaskletExecutor(profile=True)
+    outcome = executor.execute(assignment(10))
+    assert outcome.ok
+    assert outcome.profile is not None
+    assert outcome.profile.instructions == outcome.instructions
+    # Unprofiled executors leave it unset.
+    assert TaskletExecutor().execute(assignment(10)).profile is None
+
+
 def test_seed_reaches_the_vm():
     program = compile_source("func main() -> float { return rand(); }")
     executor = TaskletExecutor()

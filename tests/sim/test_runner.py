@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.broker.core import BrokerConfig
 from repro.core import kernels

@@ -127,6 +127,32 @@ class TestBenchAndSimulate:
         assert "4/4" in capsys.readouterr().out
 
 
+class TestMetrics:
+    ARGS = ["metrics", "--providers", "desktop=2", "--tasks", "3", "--limit", "200"]
+
+    def test_prometheus_exposition(self, capsys):
+        assert main([*self.ARGS, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_broker_tasklets_submitted_total counter" in out
+        assert "repro_consumer_latency_seconds_count" in out
+        assert "repro_sim_" in out  # simulator summary bridged in
+
+    def test_json_snapshot(self, capsys):
+        assert main([*self.ARGS, "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        submitted = snapshot["repro_broker_tasklets_submitted_total"]
+        assert submitted["kind"] == "counter"
+        assert submitted["samples"][0]["value"] == 3
+
+    def test_trace_dump(self, capsys):
+        assert main([*self.ARGS, "--format", "traces"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("trace tr-") == 3
+        for name in ("tasklet", "broker.tasklet", "broker.assign",
+                     "provider.execute"):
+            assert name in out
+
+
 class TestReport:
     def test_report_single_experiment(self, tmp_path, capsys):
         out = str(tmp_path / "EXP.md")

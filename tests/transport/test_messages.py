@@ -14,6 +14,7 @@ from repro.transport.message import (
     ExecutionRejected,
     ExecutionResult,
     Heartbeat,
+    HeartbeatAck,
     RegisterAck,
     RegisterProvider,
     SubmitAck,
@@ -31,6 +32,7 @@ SAMPLE_BODIES = [
     RegisterAck(accepted=False, reason="bad capacity"),
     Unregister(provider_id="p1"),
     Heartbeat(provider_id="p1", free_slots=1, queue_length=3),
+    HeartbeatAck(provider_id="p1", echo_sent_at=12.5),
     SubmitTasklet(tasklet={"tasklet_id": "tl-1", "entry": "main"}),
     SubmitAck(tasklet_id="tl-1", accepted=True),
     AssignExecution(

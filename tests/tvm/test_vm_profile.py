@@ -1,0 +1,74 @@
+"""Opt-in TVM execution profiling (``TVM(profile=True)``)."""
+
+import pytest
+
+from repro.common.errors import VMError
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import TVM, VMLimits
+
+LOOP = """
+func main(n: int) -> int {
+    var total: int = 0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        total = total + i;
+    }
+    return total;
+}
+"""
+
+
+def test_profile_disabled_by_default():
+    machine = TVM(compile_source(LOOP))
+    assert machine.run(args=[10]) == 45
+    assert machine.profile is None
+
+
+def test_profile_counts_match_stats():
+    machine = TVM(compile_source(LOOP), profile=True)
+    machine.run(args=[50])
+    profile = machine.profile
+    assert profile is not None
+    assert profile.instructions == machine.stats.instructions
+    assert sum(profile.opcodes.values()) == profile.instructions
+    assert sum(profile.opcode_groups.values()) == profile.instructions
+    assert profile.peak_stack_depth == machine.stats.max_stack_depth
+    assert profile.wall_time_s > 0.0
+
+
+def test_profile_groups_reflect_the_program():
+    machine = TVM(compile_source(LOOP), profile=True)
+    machine.run(args=[50])
+    groups = machine.profile.opcode_groups
+    # A counting loop is arithmetic, comparisons, branches, and
+    # load/store traffic — all must appear.
+    for expected in ("arithmetic", "compare", "branch", "stack"):
+        assert groups.get(expected, 0) > 0, f"missing group {expected}"
+
+
+def test_profiled_run_same_result_as_unprofiled():
+    plain = TVM(compile_source(LOOP))
+    profiled = TVM(compile_source(LOOP), profile=True)
+    assert plain.run(args=[123]) == profiled.run(args=[123])
+    assert plain.stats.instructions == profiled.stats.instructions
+
+
+def test_failing_execution_still_yields_partial_profile():
+    machine = TVM(
+        compile_source(LOOP), limits=VMLimits(fuel=100), profile=True
+    )
+    with pytest.raises(VMError):
+        machine.run(args=[100000])
+    profile = machine.profile
+    assert profile is not None
+    assert profile.instructions > 0
+
+
+def test_profile_to_dict_is_json_shaped():
+    machine = TVM(compile_source(LOOP), profile=True)
+    machine.run(args=[5])
+    data = machine.profile.to_dict()
+    assert set(data) == {
+        "wall_time_s", "instructions", "peak_stack_depth",
+        "peak_call_depth", "opcode_groups", "opcodes",
+    }
+    assert all(isinstance(v, int) for v in data["opcodes"].values())
