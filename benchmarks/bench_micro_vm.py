@@ -1,0 +1,185 @@
+"""VM dispatch microbenchmark: quickened vs baseline engine.
+
+Measures the speedup of the provider's quickened (superinstruction-fused)
+engine over the baseline portable-bytecode engine on four kernel shapes —
+tight counter loops, float arithmetic, array traffic, and call-heavy
+recursion — and records the ratios in ``BENCH_vm.json`` at the repo root.
+This is the perf guard for :mod:`repro.tvm.quicken`: the loop kernel must
+stay at least ``LOOP_FLOOR``× faster or the run fails, so a regression in
+the fused handlers or the dispatch order cannot land silently.
+
+Every measurement first asserts *equivalence*: both engines must produce
+the same result and the same ``ExecutionStats.instructions`` (the fuel
+invariant that billing and redundant-execution voting depend on).
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_micro_vm.py``,
+the CI perf-smoke step) or under pytest (``pytest benchmarks/bench_micro_vm.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core import kernels
+except ImportError:  # running as a plain script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.core import kernels
+
+from repro.tvm.compiler import compile_source
+from repro.tvm.vm import TVM, VMLimits
+
+#: Minimum acceptable speedup on the tight counter loop (the shape
+#: quickening targets most directly; ISSUE acceptance asks >= 1.5x,
+#: the guard trips earlier at 1.3x to stay robust to CI noise).
+LOOP_FLOOR = 1.3
+
+_LOOP = """
+func main(n: int) -> int {
+    var s: int = 0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        s = s + 3;
+    }
+    return s;
+}
+"""
+
+_ARITH = """
+func main(n: int) -> float {
+    var x: float = 1.5;
+    var s: float = 0.0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        x = x * 1.0000001 + 0.0000003;
+        s = s + x * 0.5;
+    }
+    return s;
+}
+"""
+
+_ARRAY = """
+func main(n: int) -> int {
+    var a: array = array(n);
+    for (var i: int = 0; i < n; i = i + 1) {
+        a[i] = i * 2;
+    }
+    var s: int = 0;
+    for (var j: int = 0; j < n; j = j + 1) {
+        s = s + int(a[j]);
+    }
+    return s;
+}
+"""
+
+#: kernel name -> (source, entry args); sizes give ~100-300 ms baseline
+#: runs so best-of timing dominates interpreter warm-up and clock noise.
+KERNELS: dict[str, tuple[str, list]] = {
+    "loop": (_LOOP, [300_000]),
+    "arith": (_ARITH, [120_000]),
+    "array": (_ARRAY, [120_000]),
+    "call": (kernels.FIBONACCI, [24]),
+}
+
+
+def _run_once(program, args: list, quickened: bool):
+    machine = TVM(
+        program, limits=VMLimits(), seed=0, verify=False, quickened=quickened
+    )
+    result = machine.run("main", list(args))
+    return result, machine.stats.instructions
+
+
+def measure(rounds: int = 5) -> dict:
+    """Benchmark every kernel; returns the BENCH_vm.json payload."""
+    per_kernel: dict[str, dict] = {}
+    for name, (source, args) in KERNELS.items():
+        program = compile_source(source)
+        program.verify()
+
+        # Equivalence gate before timing: identical result and identical
+        # instruction count, or the speedup number is meaningless.
+        base_result, base_instructions = _run_once(program, args, quickened=False)
+        quick_result, quick_instructions = _run_once(program, args, quickened=True)
+        assert base_result == quick_result, (
+            f"{name}: result diverged ({base_result!r} vs {quick_result!r})"
+        )
+        assert base_instructions == quick_instructions, (
+            f"{name}: instruction count diverged "
+            f"({base_instructions} vs {quick_instructions})"
+        )
+
+        # Interleaved best-of: alternate engines each round so thermal /
+        # scheduler drift hits both equally; keep the fastest of each.
+        best_base = best_quick = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            _run_once(program, args, quickened=False)
+            best_base = min(best_base, time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_once(program, args, quickened=True)
+            best_quick = min(best_quick, time.perf_counter() - start)
+
+        per_kernel[name] = {
+            "baseline_s": round(best_base, 6),
+            "quickened_s": round(best_quick, 6),
+            "speedup": round(best_base / best_quick, 3),
+            "instructions": base_instructions,
+        }
+
+    geomean = math.exp(
+        sum(math.log(entry["speedup"]) for entry in per_kernel.values())
+        / len(per_kernel)
+    )
+    return {
+        "benchmark": "vm_quickening",
+        "kernels": per_kernel,
+        "geomean_speedup": round(geomean, 3),
+        "loop_floor": LOOP_FLOOR,
+    }
+
+
+def write_report(payload: dict) -> Path:
+    path = Path(__file__).resolve().parents[1] / "BENCH_vm.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def check(payload: dict) -> None:
+    """The perf guard: loop-kernel speedup must clear the floor."""
+    loop_speedup = payload["kernels"]["loop"]["speedup"]
+    assert loop_speedup >= LOOP_FLOOR, (
+        f"quickening regression: loop kernel speedup {loop_speedup}x "
+        f"below the {LOOP_FLOOR}x floor"
+    )
+
+
+def test_quickening_speedup():
+    """Pytest entry point: measure, record, and enforce the floor."""
+    payload = measure()
+    write_report(payload)
+    check(payload)
+
+
+def main() -> int:
+    payload = measure()
+    path = write_report(payload)
+    print(f"{'kernel':<8} {'baseline':>10} {'quickened':>10} {'speedup':>8}")
+    for name, entry in payload["kernels"].items():
+        print(
+            f"{name:<8} {entry['baseline_s'] * 1e3:>8.1f}ms "
+            f"{entry['quickened_s'] * 1e3:>8.1f}ms {entry['speedup']:>7.2f}x"
+        )
+    print(f"geomean speedup: {payload['geomean_speedup']:.2f}x  -> {path}")
+    try:
+        check(payload)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

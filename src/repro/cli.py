@@ -50,6 +50,7 @@ def _parse_cli_value(text: str):
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
+    disasm = args.disasm or args.quicken  # --quicken implies --disasm
     payload = json.dumps(program.to_dict(), indent=None, separators=(",", ":"))
     if args.output:
         Path(args.output).write_text(payload)
@@ -58,13 +59,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             f"wrote {args.output}: {len(program.functions)} functions, "
             f"{instructions} instructions, fingerprint {program.fingerprint()}"
         )
-    else:
+    elif not disasm:
         print(payload)
+    if disasm:
+        # Quickening trusts verifier invariants, so verify first (a
+        # no-op for freshly compiled source, load-bearing for JSON input).
+        program.verify()
+        print(disassemble(program, quickened=args.quicken))
     return 0
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
-    print(disassemble(_load_program(args.file)))
+    program = _load_program(args.file)
+    if args.quicken:
+        program.verify()
+    print(disassemble(program, quickened=args.quicken))
     return 0
 
 
@@ -182,10 +191,26 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd = commands.add_parser("compile", help="compile source to bytecode JSON")
     compile_cmd.add_argument("file")
     compile_cmd.add_argument("-o", "--output", help="output path (default: stdout)")
+    compile_cmd.add_argument(
+        "--disasm",
+        action="store_true",
+        help="print a human-readable listing instead of bytecode JSON",
+    )
+    compile_cmd.add_argument(
+        "--quicken",
+        action="store_true",
+        help="with --disasm (implied): show the provider's fused internal "
+        "form side by side with the portable bytecode",
+    )
     compile_cmd.set_defaults(handler=_cmd_compile)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble a program")
     disasm_cmd.add_argument("file")
+    disasm_cmd.add_argument(
+        "--quicken",
+        action="store_true",
+        help="show the provider's fused internal form side by side",
+    )
     disasm_cmd.set_defaults(handler=_cmd_disasm)
 
     run_cmd = commands.add_parser("run", help="execute a program locally")

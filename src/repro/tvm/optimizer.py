@@ -1,14 +1,22 @@
-"""Bytecode optimizer: constant folding, jump threading, dead-code removal.
+"""Bytecode optimizer: folding, peepholes, jump threading, dead code.
 
 Optional post-compilation pass (``compile_source(..., optimize=True)`` or
-:func:`optimize_program`).  Three classic transformations, each safe under
-the language's semantics:
+:func:`optimize_program`).  Unlike provider-side quickening
+(:mod:`repro.tvm.quicken`), these transformations change the *portable*
+bytecode — they happen before fingerprinting, on the consumer side.
+Four classic transformations, each safe under the language's semantics:
 
 * **constant folding** — ``PUSH_CONST a; PUSH_CONST b; <arith/cmp>``
   becomes one ``PUSH_CONST`` when the operation cannot fail (division and
   modulo fold only for non-zero constant divisors).  Folding applies the
   *operator semantics module*, so folded results are bit-identical to
   runtime results — including C-style truncating division.
+* **peepholes** — ``NOT; JUMP_IF_FALSE`` becomes ``JUMP_IF_TRUE`` (and
+  the mirror), and the stack-neutral pairs ``DUP; POP`` and
+  ``PUSH_CONST/PUSH_NONE; POP`` are deleted.  The branch flip relies on
+  the static type discipline the semantic analyser enforces (the operand
+  of ``!`` is always bool in compiled code); only the error *message* of
+  ill-typed hand-assembled bytecode could differ.
 * **jump threading** — a jump whose target is another unconditional jump
   retargets to the final destination (chains collapse; cycles detected
   and left alone).
@@ -160,6 +168,59 @@ def remap_safe(remap: dict[int, int], old_index: int, targets: set) -> bool:
     return (old_index - 1) not in targets and (old_index - 2) not in targets
 
 
+#: Branch flips for the ``NOT; JUMP_IF_*`` peephole.
+_FLIPPED_BRANCH = {
+    Op.JUMP_IF_FALSE: Op.JUMP_IF_TRUE,
+    Op.JUMP_IF_TRUE: Op.JUMP_IF_FALSE,
+}
+
+#: Pushes with no side effect, deletable when immediately popped.
+_PURE_PUSH = {Op.PUSH_CONST, Op.PUSH_NONE, Op.DUP}
+
+
+def _peephole(code: list[Instruction]) -> list[Instruction]:
+    """One pass of two-instruction peepholes (iterated to fixpoint).
+
+    Each rewrite consumes a pair ``(i, i+1)``.  The *second* instruction
+    must not be a jump target — a jump landing on it expects the
+    unrewritten stack state.  The first may be one: jumps to it are
+    remapped to the replacement (branch flip) or to the next surviving
+    instruction (deleted stack-neutral pair), which is equivalent.
+    """
+    targets = {
+        instruction.operand for instruction in code if instruction.op in JUMP_OPS
+    }
+    output: list[Instruction] = []
+    remap: dict[int, int] = {}
+    skip_next = False
+    for index, instruction in enumerate(code):
+        remap[index] = len(output)
+        if skip_next:
+            skip_next = False
+            continue
+        following = code[index + 1] if index + 1 < len(code) else None
+        if following is not None and (index + 1) not in targets:
+            if instruction.op is Op.NOT and following.op in _FLIPPED_BRANCH:
+                output.append(
+                    Instruction(_FLIPPED_BRANCH[following.op], following.operand)
+                )
+                skip_next = True
+                continue
+            if instruction.op in _PURE_PUSH and following.op is Op.POP:
+                skip_next = True
+                continue
+        output.append(instruction)
+
+    if len(output) == len(code):
+        return code
+    return [
+        Instruction(instruction.op, remap[instruction.operand])
+        if instruction.op in JUMP_OPS
+        else instruction
+        for instruction in output
+    ]
+
+
 def _thread_jumps(code: list[Instruction]) -> list[Instruction]:
     """Retarget jumps that land on unconditional jumps."""
 
@@ -221,13 +282,14 @@ def optimize_function(
     """Optimize one function body in the context of the shared pool."""
     pool = _Pool(constants)
     code = list(function.code)
-    # Iterate folding to a fixpoint: folding exposes new foldable pairs
-    # (e.g. 1+2+3). Threading and DCE run once after; they are idempotent.
+    # Iterate folding + peepholes to a fixpoint: folding exposes new
+    # foldable pairs (e.g. 1+2+3) and peephole deletions expose new
+    # adjacencies.  Threading and DCE run once after; they are idempotent.
     for _ in range(8):
-        folded = _fold_constants(code, pool)
-        if folded == code:
+        rewritten = _peephole(_fold_constants(code, pool))
+        if rewritten == code:
             break
-        code = folded
+        code = rewritten
     code = _thread_jumps(code)
     code = _eliminate_dead_code(code)
     return FunctionCode(

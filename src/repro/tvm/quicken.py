@@ -1,0 +1,150 @@
+"""Quickening: rewrite verified bytecode into a fused internal form.
+
+The quickening pass turns a function's portable instruction list into an
+internal representation in which the dominant multi-instruction sequences
+(loop-counter increments, compare-and-branch loop tests, pair loads, fast
+array reads) are replaced by single *fused superinstructions*
+(:class:`~repro.tvm.opcodes.QOp`).  The dispatch loop then retires one
+fused instruction where the baseline engine retired two to four, which is
+where the interpretation overhead the F1 experiment measures actually
+goes.
+
+Three properties make the pass safe and invisible outside the VM:
+
+* **In-place fusion, index-preserving.**  The quickened list has exactly
+  the same length as the portable list.  A fused superinstruction
+  *replaces the head* of its sequence; the tail slots keep their original
+  portable instructions and are simply skipped by the fused handler
+  (``ip += len(sequence)``).  Jump targets therefore need no remapping,
+  a jump *into* the middle of a fused sequence executes the original
+  instructions unchanged, and the VM can switch between quickened and
+  portable code mid-function at any instruction boundary (it does so when
+  fuel runs low — see ``vm.py``).  Fusions may overlap: every position is
+  matched against the *original* sequence independently, and whichever
+  head control flow actually reaches wins.
+* **Fuel equivalence.**  A fused instruction charges exactly the fuel of
+  the sequence it replaces, constituent by constituent, so
+  ``ExecutionStats.instructions`` — and with it billing, the virtual
+  service-time model, and redundant-execution voting — is bit-identical
+  to the unquickened engine, on success *and* on every error path.
+* **Provider-side only.**  Quickening runs once per program at
+  program-cache insertion (:class:`repro.provider.executor.TaskletExecutor`)
+  and is memoised on the :class:`~repro.tvm.bytecode.FunctionCode`.  The
+  wire format, ``to_dict()``/``from_dict()``, and ``fingerprint()`` are
+  computed from the portable ``code`` list and are untouched.
+
+Only *verified* programs may be quickened; the matcher trusts operand
+invariants (e.g. ``STORE`` slot indices) that ``verify()`` establishes.
+"""
+
+from __future__ import annotations
+
+from .bytecode import CompiledProgram, FunctionCode
+from .opcodes import Op, QOp
+
+_LOAD = int(Op.LOAD)
+_PUSH_CONST = int(Op.PUSH_CONST)
+_ADD = int(Op.ADD)
+_SUB = int(Op.SUB)
+_STORE = int(Op.STORE)
+_INDEX = int(Op.INDEX)
+_JUMP_IF_FALSE = int(Op.JUMP_IF_FALSE)
+
+#: comparison opcode -> fused compare-and-branch opcode
+_CMP_FUSION = {
+    int(Op.LT): int(QOp.LT_JUMP_IF_FALSE),
+    int(Op.LE): int(QOp.LE_JUMP_IF_FALSE),
+    int(Op.GT): int(QOp.GT_JUMP_IF_FALSE),
+    int(Op.GE): int(QOp.GE_JUMP_IF_FALSE),
+    int(Op.EQ): int(QOp.EQ_JUMP_IF_FALSE),
+    int(Op.NE): int(QOp.NE_JUMP_IF_FALSE),
+}
+
+
+def quicken_pairs(
+    pairs: list[tuple[int, int | None]],
+) -> list[tuple[int, object]]:
+    """Fused copy of a portable ``(op, operand)`` list (same length).
+
+    Every position is matched against the portable sequence starting
+    there; matches replace only the head slot.  Longer fusions win at a
+    given head (``INC_LOCAL`` over ``LOAD_CONST``).
+    """
+    quickened: list[tuple[int, object]] = list(pairs)
+    length = len(pairs)
+    for position, (op, operand) in enumerate(pairs):
+        if op in _CMP_FUSION:
+            if position + 1 < length and pairs[position + 1][0] == _JUMP_IF_FALSE:
+                quickened[position] = (
+                    _CMP_FUSION[op],
+                    pairs[position + 1][1],
+                )
+        elif op == _LOAD:
+            if (
+                position + 3 < length
+                and pairs[position + 1][0] == _PUSH_CONST
+                and pairs[position + 2][0] in (_ADD, _SUB)
+                and pairs[position + 3][0] == _STORE
+                and pairs[position + 3][1] == operand
+            ):
+                fused = (
+                    int(QOp.INC_LOCAL)
+                    if pairs[position + 2][0] == _ADD
+                    else int(QOp.DEC_LOCAL)
+                )
+                quickened[position] = (fused, (operand, pairs[position + 1][1]))
+            elif position + 1 < length:
+                next_op, next_operand = pairs[position + 1]
+                if next_op == _LOAD:
+                    quickened[position] = (
+                        int(QOp.LOAD_LOAD),
+                        (operand, next_operand),
+                    )
+                elif next_op == _PUSH_CONST:
+                    quickened[position] = (
+                        int(QOp.LOAD_CONST),
+                        (operand, next_operand),
+                    )
+                elif next_op == _INDEX:
+                    quickened[position] = (int(QOp.LOAD_INDEX), operand)
+    return quickened
+
+
+def quicken_function(function: FunctionCode) -> list[tuple[int, object]]:
+    """The memoised quickened body of ``function``.
+
+    Idempotent and benign under concurrent calls (worker threads may
+    race to compute the same list; last write wins, both are identical).
+    """
+    cached = function._quick_pairs
+    if cached is None:
+        cached = function._quick_pairs = quicken_pairs(function.pairs)
+    return cached
+
+
+def quicken_program(program: CompiledProgram) -> CompiledProgram:
+    """Quicken every function of a *verified* ``program`` (in place).
+
+    Returns the same object for chaining.  The portable representation —
+    and with it serialisation and ``fingerprint()`` — is not modified.
+    """
+    for function in program.functions:
+        quicken_function(function)
+    return program
+
+
+def fusion_counts(program: CompiledProgram) -> dict[str, int]:
+    """How many fusion sites quickening found, by superinstruction name.
+
+    Diagnostic helper for tests, the quickened disassembly, and the
+    dispatch microbenchmark report.
+    """
+    counts: dict[str, int] = {}
+    for function in program.functions:
+        for (op, _operand), (portable_op, _p) in zip(
+            quicken_function(function), function.pairs
+        ):
+            if op != portable_op:
+                name = QOp(op).name
+                counts[name] = counts.get(name, 0) + 1
+    return counts

@@ -92,6 +92,29 @@ class TestCompileDisasm:
         assert main(["disasm", out]) == 0
         assert ".func main" in capsys.readouterr().out
 
+    def test_compile_disasm_prints_listing_not_json(self, source_file, capsys):
+        assert main(["compile", source_file, "--disasm"]) == 0
+        text = capsys.readouterr().out
+        assert ".func main" in text
+        assert not text.lstrip().startswith("{")
+        # Portable listing only: no fused column.
+        assert "*" not in text
+
+    def test_compile_quicken_shows_fused_column(self, source_file, capsys):
+        # --quicken implies --disasm; the counting loop fuses its
+        # increment and loop test.
+        assert main(["compile", source_file, "--quicken"]) == 0
+        text = capsys.readouterr().out
+        assert "*INC_LOCAL" in text
+        assert "*LE_JUMP_IF_FALSE" in text
+        assert "spans 4" in text
+        # Side by side: the portable instructions are still all there.
+        assert "JUMP_IF_FALSE" in text and "ADD" in text
+
+    def test_disasm_quicken_flag(self, source_file, capsys):
+        assert main(["disasm", source_file, "--quicken"]) == 0
+        assert "*INC_LOCAL" in capsys.readouterr().out
+
 
 class TestBenchAndSimulate:
     def test_bench(self, capsys):

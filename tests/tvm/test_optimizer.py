@@ -114,6 +114,105 @@ class TestControlFlow:
         assert again.fingerprint() == program.fingerprint()
 
 
+class TestPeepholes:
+    def test_not_jump_if_false_flips_to_jump_if_true(self):
+        source = (
+            "func main(a: int, b: int) -> int "
+            "{ if (!(a < b)) { return 1; } return 2; }"
+        )
+        optimized = compile_source(source, optimize=True)
+        ops = ops_of(optimized)
+        assert Op.NOT not in ops
+        assert Op.JUMP_IF_TRUE in ops
+        for a, b in ((1, 2), (2, 1), (3, 3)):
+            plain = compile_source(source)
+            assert (
+                execute(optimized, "main", [a, b])[0]
+                == execute(plain, "main", [a, b])[0]
+            )
+
+    def test_not_jump_if_true_mirror_flips_to_jump_if_false(self):
+        # Short-circuit `||` compiles its left operand to JUMP_IF_TRUE,
+        # so `!(...) || ...` produces the mirror pair.
+        source = (
+            "func main(a: int, b: int) -> int "
+            "{ if (!(a < b) || a == 9) { return 1; } return 2; }"
+        )
+        optimized = compile_source(source, optimize=True)
+        assert Op.NOT not in ops_of(optimized)
+        for a, b in ((1, 2), (2, 1), (9, 10)):
+            plain = compile_source(source)
+            assert (
+                execute(optimized, "main", [a, b])[0]
+                == execute(plain, "main", [a, b])[0]
+            )
+
+    def test_dup_pop_pair_deleted(self):
+        from repro.tvm.assembler import assemble
+
+        listing = """
+        .constants 1
+          k0 = 7
+        .func main params=0 locals=0 returns=value
+          0  PUSH_CONST 0
+          1  DUP
+          2  POP
+          3  RET
+        .end
+        """
+        optimized = optimize_program(assemble(listing))
+        assert Op.DUP not in ops_of(optimized)
+        assert Op.POP not in ops_of(optimized)
+        assert execute(optimized, "main")[0] == 7
+
+    def test_pure_push_pop_pair_deleted(self):
+        from repro.tvm.assembler import assemble
+
+        listing = """
+        .constants 2
+          k0 = 1
+          k1 = 9
+        .func main params=0 locals=0 returns=value
+          0  PUSH_CONST 0
+          1  POP
+          2  PUSH_CONST 1
+          3  RET
+        .end
+        """
+        optimized = optimize_program(assemble(listing))
+        assert Op.POP not in ops_of(optimized)
+        assert execute(optimized, "main")[0] == 9
+
+    def test_pop_that_is_a_jump_target_survives(self):
+        # The POP at 5 balances two stack shapes (one value pushed on the
+        # false path, two on the true path); deleting the PUSH;POP pair
+        # would break the false path's jump, so the peephole must refuse.
+        from repro.tvm.assembler import assemble
+
+        listing = """
+        .constants 2
+          k0 = 1
+          k1 = 2
+        .func main params=1 locals=1 returns=value
+          0  PUSH_CONST 0
+          1  PUSH_CONST 1
+          2  LOAD 0
+          3  JUMP_IF_FALSE 5
+          4  PUSH_CONST 0
+         L5  POP
+          6  RET
+        .end
+        """
+        program = assemble(listing)
+        optimized = optimize_program(program)
+        assert Op.POP in ops_of(optimized)
+        for flag in (True, False):
+            assert (
+                execute(optimized, "main", [flag])[0]
+                == execute(program, "main", [flag])[0]
+            )
+
+
 @pytest.mark.parametrize("name", sorted(kernels.ALL_KERNELS))
 def test_all_kernels_unchanged_behaviour(name):
     cases = {

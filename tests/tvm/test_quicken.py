@@ -1,0 +1,307 @@
+"""Quickening (superinstruction fusion) equivalence and invariants.
+
+The quickened engine must be observationally identical to the baseline:
+same results, same errors (type *and* message), same
+``ExecutionStats.instructions`` on success, on runtime faults, and on
+fuel exhaustion — that count feeds billing, the virtual service-time
+model, and redundant-execution voting.  The portable representation
+(wire format, ``fingerprint()``) must be untouched by quickening.
+"""
+
+import copy
+
+import pytest
+
+from repro.common.errors import VMError, VMFuelExhausted
+from repro.core import kernels
+from repro.provider.executor import TaskletExecutor
+from repro.tvm.assembler import assemble
+from repro.tvm.compiler import compile_source
+from repro.tvm.quicken import fusion_counts, quicken_pairs, quicken_program
+from repro.tvm.vm import TVM, VMLimits
+from repro.transport.message import AssignExecution
+
+COUNT_LOOP = """
+func main(n: int) -> int {
+    var s: int = 0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        s = s + 3;
+    }
+    return s;
+}
+"""
+
+KERNEL_CASES = {
+    "mandelbrot_row": [5, 24, 16, 30],
+    "matmul_tile": [[1.0, 2.0, 3.0, 4.0], [5.0, 6.0, 7.0, 8.0], 2],
+    "fibonacci": [13],
+    "prime_count": [500],
+    "numeric_integration": [0.0, 4.0, 200],
+    "word_histogram": ["Hello 123 world!"],
+    "monte_carlo_pi": [400],
+}
+
+
+def run_both(source_or_program, args, fuel=None, seed=0):
+    """Run baseline and quickened engines; return the two machines."""
+    machines = []
+    for quickened in (False, True):
+        if isinstance(source_or_program, str):
+            program = compile_source(source_or_program)
+        else:
+            program = copy.deepcopy(source_or_program)
+        limits = VMLimits(fuel=fuel) if fuel else VMLimits()
+        machine = TVM(program, limits=limits, seed=seed, quickened=quickened)
+        try:
+            result = machine.run("main", list(args))
+            machines.append((machine, result, None))
+        except VMError as error:
+            machines.append((machine, None, error))
+    return machines
+
+
+# ---------------------------------------------------------------------------
+# The pass itself
+# ---------------------------------------------------------------------------
+
+
+def test_quickening_finds_the_expected_fusions():
+    program = compile_source(COUNT_LOOP)
+    program.verify()
+    counts = fusion_counts(quicken_program(program))
+    # A counting loop is exactly what the fused opcodes target.
+    assert counts.get("INC_LOCAL", 0) >= 2  # s = s + 3 and i = i + 1
+    assert counts.get("LT_JUMP_IF_FALSE", 0) == 1  # the loop test
+    assert counts.get("LOAD_LOAD", 0) >= 1  # i, n pair load
+
+
+def test_quickened_body_is_index_preserving():
+    program = compile_source(kernels.PRIME_COUNT)
+    program.verify()
+    for function in program.functions:
+        quickened = quicken_pairs(function.pairs)
+        assert len(quickened) == len(function.pairs)
+        for fused, portable in zip(quickened, function.pairs):
+            if fused[0] < 100:  # unfused slots keep the portable pair
+                assert fused == portable
+
+
+def test_quickening_leaves_wire_format_and_fingerprint_untouched():
+    program = compile_source(kernels.PRIME_COUNT)
+    program.verify()
+    fingerprint_before = program.fingerprint()
+    dict_before = program.to_dict()
+    quicken_program(program)
+    assert program.fingerprint() == fingerprint_before
+    assert program.to_dict() == dict_before
+    # And the quickened program still round-trips byte-identically.
+    from repro.tvm.bytecode import CompiledProgram
+
+    rebuilt = CompiledProgram.from_dict(program.to_dict())
+    assert rebuilt.fingerprint() == fingerprint_before
+    assert rebuilt.to_dict() == dict_before
+
+
+# ---------------------------------------------------------------------------
+# Observational equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_all_standard_kernels_equivalent():
+    for name, args in KERNEL_CASES.items():
+        source = kernels.ALL_KERNELS[name]
+        (base, base_result, base_error), (quick, quick_result, quick_error) = (
+            run_both(source, args, seed=7)
+        )
+        assert base_error is None and quick_error is None, name
+        assert base_result == quick_result, name
+        assert base.stats.instructions == quick.stats.instructions, name
+
+
+def test_fuel_exhaustion_bills_exactly_in_both_engines():
+    # Sweep fuel values so exhaustion lands on every phase of the fused
+    # sequences (the deopt window must never let a fused instruction
+    # charge past the limit).
+    for fuel in range(40, 72):
+        (base, _, base_error), (quick, _, quick_error) = run_both(
+            COUNT_LOOP, [10_000], fuel=fuel
+        )
+        assert isinstance(base_error, VMFuelExhausted), fuel
+        assert isinstance(quick_error, VMFuelExhausted), fuel
+        assert base.stats.instructions == fuel
+        assert quick.stats.instructions == fuel
+        assert str(base_error) == str(quick_error)
+
+
+def test_runtime_faults_identical_division_by_zero():
+    source = """
+    func main(n: int) -> int {
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) {
+            s = s + 100 / (n - i - 4);
+        }
+        return s;
+    }
+    """
+    (base, _, base_error), (quick, _, quick_error) = run_both(source, [10])
+    assert base_error is not None and quick_error is not None
+    assert type(base_error) is type(quick_error)
+    assert str(base_error) == str(quick_error)
+    assert base.stats.instructions == quick.stats.instructions
+
+
+def test_runtime_faults_identical_array_out_of_bounds():
+    source = """
+    func main(n: int) -> int {
+        var a: array = array(4);
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) {
+            s = s + int(a[i]);
+        }
+        return s;
+    }
+    """
+    (base, _, base_error), (quick, _, quick_error) = run_both(source, [10])
+    assert base_error is not None and quick_error is not None
+    assert type(base_error) is type(quick_error)
+    assert str(base_error) == str(quick_error)
+    assert base.stats.instructions == quick.stats.instructions
+
+
+def test_fused_slow_paths_agree_on_strings_and_floats():
+    source = """
+    func main(n: int) -> string {
+        var s: string = "";
+        var x: float = 0.25;
+        for (var i: int = 0; i < n; i = i + 1) {
+            s = s + "ab";
+            x = x + 1.5;
+        }
+        if (x > 3.0) { return s; }
+        return "small";
+    }
+    """
+    for n in (0, 1, 5):
+        (base, base_result, _), (quick, quick_result, _) = run_both(source, [n])
+        assert base_result == quick_result
+        assert base.stats.instructions == quick.stats.instructions
+
+
+def test_jump_into_the_middle_of_a_fused_sequence():
+    # Position 6 quickens to INC_LOCAL (spanning 6..9); the flag=true
+    # path jumps straight to position 7, executing the sequence's tail
+    # as portable instructions with x already pushed.
+    listing = """
+    .constants 2
+      k0 = 1
+      k1 = 10
+    .func main params=1 locals=2 returns=value
+      0  PUSH_CONST 1
+      1  STORE 1
+      2  LOAD 0
+      3  JUMP_IF_FALSE 6
+      4  LOAD 1
+      5  JUMP 7
+     L6  LOAD 1
+     L7  PUSH_CONST 0
+      8  ADD
+      9  STORE 1
+     10  LOAD 1
+     11  RET
+    .end
+    """
+    program = assemble(listing)
+    program.verify()
+    quickened = quicken_pairs(program.functions[0].pairs)
+    assert quickened[6][0] >= 100  # the head really is fused
+    for flag in (True, False):
+        (base, base_result, _), (quick, quick_result, _) = run_both(
+            program, [flag]
+        )
+        assert base_result == quick_result == 11
+        assert base.stats.instructions == quick.stats.instructions
+
+
+def test_profiles_are_engine_independent():
+    for source, args in ((COUNT_LOOP, [200]), (kernels.PRIME_COUNT, [300])):
+        program = compile_source(source)
+        baseline = TVM(program, profile=True)
+        baseline.run("main", list(args))
+        quick = TVM(compile_source(source), profile=True, quickened=True)
+        quick.run("main", list(args))
+        # Fused opcodes are expanded back into their constituents, so the
+        # profile reports portable opcodes regardless of engine.
+        assert baseline.profile.opcodes == quick.profile.opcodes
+        assert baseline.profile.opcode_groups == quick.profile.opcode_groups
+        assert baseline.profile.instructions == quick.profile.instructions
+        # peak_stack_depth is deliberately NOT compared: it is a
+        # checkpoint-sampled diagnostic, and fused instructions hold
+        # fewer transient values at sampling instants.
+
+
+# ---------------------------------------------------------------------------
+# Executor integration
+# ---------------------------------------------------------------------------
+
+
+def _assignment(program, args, fuel=1_000_000):
+    return AssignExecution(
+        execution_id="ex-q",
+        tasklet_id="tl-q",
+        consumer_id="c",
+        program=program.to_dict(),
+        entry="main",
+        args=list(args),
+        seed=0,
+        fuel=fuel,
+        program_fingerprint=program.fingerprint(),
+    )
+
+
+def test_executor_quickens_by_default_and_ablation_agrees():
+    program = compile_source(COUNT_LOOP)
+    request = _assignment(program, [500])
+    quickened = TaskletExecutor().execute(request)
+    baseline = TaskletExecutor(quicken=False).execute(request)
+    assert quickened.ok and baseline.ok
+    assert quickened.value == baseline.value == 1500
+    assert quickened.instructions == baseline.instructions
+
+
+def test_executor_cached_program_reuses_quickened_body():
+    program = compile_source(COUNT_LOOP)
+    executor = TaskletExecutor()
+    first = executor.execute(_assignment(program, [10]))
+    second = executor.execute(_assignment(program, [10]))
+    assert first.ok and second.ok
+    assert executor.cache_hits == 1
+    assert first.instructions == second.instructions
+
+
+def test_executor_error_reporting_identical():
+    source = "func main(n: int) -> int { return 1 / n; }"
+    program = compile_source(source)
+    with_quickening = TaskletExecutor().execute(_assignment(program, [0]))
+    without = TaskletExecutor(quicken=False).execute(_assignment(program, [0]))
+    assert not with_quickening.ok and not without.ok
+    assert with_quickening.error == without.error
+
+
+def test_stack_limit_still_enforced_when_quickened():
+    # The widened checkpoint condition must still fire: a program that
+    # overflows the operand stack is caught by both engines.
+    source = """
+    func grow(n: int) -> int {
+        if (n <= 0) { return 0; }
+        return n + grow(n - 1);
+    }
+    func main(n: int) -> int { return grow(n); }
+    """
+    (base, _, base_error), (quick, _, quick_error) = run_both(source, [5000])
+    assert base_error is not None and quick_error is not None
+    assert type(base_error) is type(quick_error)
+
+
+def test_quickened_accepts_any_entry_arity():
+    with pytest.raises(VMError):
+        TVM(compile_source(COUNT_LOOP), quickened=True).run("main", [])

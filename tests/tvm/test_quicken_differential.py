@@ -1,0 +1,183 @@
+"""Seeded differential fuzzing: AST interpreter vs baseline VM vs quickened VM.
+
+A deterministic ``random.Random`` generator (no hypothesis — every CI run
+executes the exact same 500+ programs) emits small Tasklet programs that
+deliberately hammer the shapes quickening fuses: counter increments and
+decrements, compare-and-branch loop tests, pair loads, array reads
+(including out-of-bounds ones), division (including by zero), and string
+accumulation through the fused slow paths.
+
+Comparison is two-tier:
+
+* **Exact** between the two VM engines — result, error type name, error
+  message, and ``ExecutionStats.instructions`` must all match.  This is
+  the fuel-equivalence contract billing and voting rely on.
+* **Coarse** against the AST interpreter — fault-or-success and, on
+  success, the result value.  (The reference interpreter raises plain
+  ``VMError`` where the VM raises typed subclasses, and it counts steps,
+  not instructions, so only behaviour is compared.)
+"""
+
+import random
+
+from repro.common.errors import VMError
+from repro.tvm.astinterp import AstInterpreter
+from repro.tvm.compiler import compile_ast
+from repro.tvm.parser import parse
+from repro.tvm.quicken import fusion_counts
+from repro.tvm.semantics import analyze
+from repro.tvm.vm import TVM, VMLimits
+
+PROGRAM_COUNT = 520
+SEED = 0xC0FFEE
+
+_INT_VARS = ["a", "b", "s", "t"]
+
+
+def _int_expr(rng: random.Random, depth: int = 0) -> str:
+    choice = rng.randrange(6 if depth < 2 else 2)
+    if choice == 0:
+        return str(rng.randint(-9, 9))
+    if choice == 1:
+        return rng.choice(_INT_VARS)
+    left = _int_expr(rng, depth + 1)
+    right = _int_expr(rng, depth + 1)
+    if choice == 2:
+        return f"({left} + {right})"
+    if choice == 3:
+        return f"({left} - {right})"
+    if choice == 4:
+        return f"({left} * {rng.randint(-3, 3)})"
+    # Unguarded division: the denominator can be zero at runtime, and
+    # both engines must fault identically when it is.
+    return f"({left} / {right})"
+
+
+def _condition(rng: random.Random, counter: str) -> str:
+    op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+    return f"{rng.choice([counter] + _INT_VARS)} {op} {_int_expr(rng, 2)}"
+
+
+def _statement(rng: random.Random, depth: int = 0) -> str:
+    kind = rng.randrange(7 if depth < 2 else 3)
+    if kind == 0:
+        target = rng.choice(["s", "t"])
+        return f"{target} = {_int_expr(rng)};"
+    if kind == 1:
+        # The INC/DEC_LOCAL shapes, verbatim.
+        target = rng.choice(["s", "t"])
+        sign = rng.choice(["+", "-"])
+        return f"{target} = {target} {sign} {rng.randint(1, 5)};"
+    if kind == 2:
+        # Array traffic; index may run out of bounds (both engines fault).
+        index = rng.choice(["0", "1", "2", "3", "s", "(s + t)"])
+        if rng.random() < 0.5:
+            return f"arr[{index}] = s;"
+        return f"s = s + int(arr[{index}]);"
+    if kind == 3:
+        # String accumulation: ADD's fused slow path.
+        return f'msg = msg + "{rng.choice(["x", "yz", ""])}";'
+    if kind == 4:
+        body = _statement(rng, depth + 1)
+        if rng.random() < 0.4:
+            return (
+                f"if ({_condition(rng, 'a')}) {{ {body} }} "
+                f"else {{ {_statement(rng, depth + 1)} }}"
+            )
+        return f"if ({_condition(rng, 'a')}) {{ {body} }}"
+    if kind == 5:
+        # Counting loop: LT/LE_JUMP_IF_FALSE + INC_LOCAL territory.
+        counter = f"i{depth}"
+        bound = rng.randint(0, 7)
+        comparison = rng.choice(["<", "<="])
+        body = _statement(rng, depth + 1)
+        return (
+            f"for (var {counter}: int = 0; {counter} {comparison} {bound}; "
+            f"{counter} = {counter} + 1) {{ {body} }}"
+        )
+    # kind == 6: countdown loop — DEC_LOCAL plus GT/GE_JUMP_IF_FALSE.
+    counter = f"d{depth}"
+    start = rng.randint(0, 7)
+    comparison = rng.choice([">", ">="])
+    body = _statement(rng, depth + 1)
+    return (
+        f"for (var {counter}: int = {start}; {counter} {comparison} 1; "
+        f"{counter} = {counter} - 1) {{ {body} }}"
+    )
+
+
+def _program(rng: random.Random) -> str:
+    body = " ".join(_statement(rng) for _ in range(rng.randint(2, 6)))
+    return (
+        "func main(a: int, b: int) -> int { "
+        "var s: int = 1; var t: int = 2; "
+        'var msg: string = ""; '
+        "var arr: array = array(4); "
+        f"{body} "
+        "return s + 1000 * t + len(msg); }"
+    )
+
+
+def _run_vm(program, args, quickened):
+    machine = TVM(
+        program, limits=VMLimits(fuel=100_000), seed=0, quickened=quickened
+    )
+    try:
+        result = machine.run("main", list(args))
+        return ("ok", result, machine.stats.instructions)
+    except VMError as error:
+        return (
+            "error",
+            type(error).__name__,
+            str(error),
+            machine.stats.instructions,
+        )
+
+
+def _run_ast(analysed, args):
+    try:
+        return ("ok", AstInterpreter(analysed).run("main", list(args)))
+    except VMError:
+        return ("error",)
+
+
+def test_generated_programs_agree_across_all_three_engines():
+    rng = random.Random(SEED)
+    faults = 0
+    fused_programs = 0
+    for index in range(PROGRAM_COUNT):
+        source = _program(rng)
+        args = [rng.randint(-10, 10), rng.randint(-10, 10)]
+        analysed = analyze(parse(source))
+        program = compile_ast(analysed)
+        program.verify()
+
+        baseline = _run_vm(program, args, quickened=False)
+        quickened = _run_vm(program, args, quickened=True)
+        assert baseline == quickened, (
+            f"engines diverged on program {index}:\n{source}\n"
+            f"args={args}\nbaseline={baseline}\nquickened={quickened}"
+        )
+
+        reference = _run_ast(analysed, args)
+        assert reference[0] == baseline[0], (
+            f"AST interpreter disagrees on fault-ness for program {index}:\n"
+            f"{source}\nargs={args}\nast={reference}\nvm={baseline}"
+        )
+        if baseline[0] == "ok":
+            assert reference[1] == baseline[1], (
+                f"AST interpreter result mismatch on program {index}:\n"
+                f"{source}\nargs={args}"
+            )
+        else:
+            faults += 1
+        if fusion_counts(program):
+            fused_programs += 1
+
+    # The generator must actually exercise both regimes: plenty of
+    # faulting programs (division by zero, out-of-bounds reads) and an
+    # overwhelming majority of programs with at least one fusion site.
+    assert faults >= PROGRAM_COUNT // 20, f"only {faults} faulting programs"
+    assert fused_programs >= PROGRAM_COUNT * 9 // 10, (
+        f"only {fused_programs} programs had fusion sites"
+    )
