@@ -14,7 +14,8 @@ Two claims are kept honest here:
    path shows up in the pytest-benchmark tables.
 
 The TVM's per-instruction profiling guard gets the same treatment at
-the dispatch-loop level.
+the dispatch-loop level, and the flight recorder's per-event guard at
+the event-emission level.
 """
 
 import time
@@ -81,6 +82,32 @@ def test_vm_unprofiled_within_noise_of_profiled():
     assert unprofiled <= profiled * 1.05, (
         f"unprofiled dispatch ({unprofiled * 1e3:.2f}ms) slower than "
         f"profiled ({profiled * 1e3:.2f}ms) beyond 5% noise"
+    )
+
+
+def test_event_emission_disabled_guard_is_free():
+    """Per-event emission reduces to one ``is not None`` test when off.
+
+    The cores guard every flight-recorder emission with the same check;
+    this measures that guard against real ring appends.
+    """
+    from repro.obs.events import FlightRecorder
+
+    def spin(events, n=100_000):
+        total = 0
+        for i in range(n):
+            if events is not None:
+                events.record("placement", node="p1", ts=float(i))
+            total += i
+        return total
+
+    spin(None), spin(FlightRecorder())  # warm
+    disabled, enabled = interleaved_best_of(
+        lambda: spin(None), lambda: spin(FlightRecorder())
+    )
+    assert disabled <= enabled * 1.05, (
+        f"event-emission-disabled loop ({disabled * 1e3:.2f}ms) slower "
+        f"than recording loop ({enabled * 1e3:.2f}ms) beyond 5% noise"
     )
 
 

@@ -28,6 +28,14 @@ from ..common.ids import ExecutionId, IdGenerator, NodeId, TaskletId
 from ..core.qoc import QoC
 from ..core.results import ExecutionRecord, ExecutionStatus, VoteCollector
 from ..core.tasklet import Tasklet
+from ..obs import events as ev
+from ..obs.health import (
+    GRADE_RANK,
+    HealthMetrics,
+    HealthModel,
+    StragglerWatchdog,
+    overall_status,
+)
 from ..obs.telemetry import BrokerMetrics, Telemetry
 from ..obs.trace import TraceContext
 from .accounting import CostLedger
@@ -69,6 +77,13 @@ class BrokerConfig:
     #: result->assign network round trip for fine-grained Tasklets
     #: (ablation A5).  0 = assign only to genuinely free slots.
     pipeline_depth: int = 0
+    #: Straggler watchdog: alert when an outstanding execution exceeds
+    #: this multiple of its expected runtime (learned program profile /
+    #: provider speed).  Advisory only; re-issue policy is unchanged.
+    straggler_multiple: float = 4.0
+    #: Floor on expected runtime, absorbing scheduling/transport jitter
+    #: for very short programs.
+    straggler_min_expected_s: float = 0.05
 
 
 @dataclass
@@ -157,6 +172,22 @@ class BrokerCore:
         self.telemetry = telemetry
         self._metrics = BrokerMetrics(telemetry.registry) if telemetry else None
         self._tracer = telemetry.tracer if telemetry else None
+        self._events = telemetry.events if telemetry else None
+        #: Cluster health model + straggler watchdog; only maintained when
+        #: telemetry is enabled (the disabled hot path stays one check).
+        self.health: HealthModel | None = (
+            HealthModel(
+                heartbeat_interval=self.config.heartbeat_interval,
+                heartbeat_tolerance=self.config.heartbeat_tolerance,
+                watchdog=StragglerWatchdog(
+                    multiple=self.config.straggler_multiple,
+                    min_expected_s=self.config.straggler_min_expected_s,
+                ),
+            )
+            if telemetry
+            else None
+        )
+        self._health_metrics = HealthMetrics(telemetry.registry) if telemetry else None
         self.registry = ProviderRegistry(
             heartbeat_interval=self.config.heartbeat_interval,
             heartbeat_tolerance=self.config.heartbeat_tolerance,
@@ -205,6 +236,10 @@ class BrokerCore:
             self.stats.providers_failed += 1
             if self._metrics is not None:
                 self._metrics.providers_failed.inc()
+            if self._events is not None:
+                self._events.record(
+                    ev.NODE_DEAD, node=str(provider_id), ts=now
+                )
             out.extend(self._fail_provider_executions(provider_id))
         out.extend(self._expire_executions(now))
         out.extend(self._drain_backlog())
@@ -216,6 +251,7 @@ class BrokerCore:
                 sum(state.pending_replicas for state in self._tasklets.values())
             )
             self._metrics.providers_alive.set(len(self.registry.alive_providers()))
+        self._run_watchdog(now)
         return out
 
     # -- membership handlers ----------------------------------------------------
@@ -238,6 +274,25 @@ class BrokerCore:
             out.append(self._send(ack, NodeId(body.provider_id)))
             return out
         out.append(self._send(RegisterAck(accepted=True), NodeId(body.provider_id)))
+        now = self.clock.now()
+        if self._events is not None:
+            self._events.record(
+                ev.NODE_FLAP if was_known else ev.NODE_JOIN,
+                node=body.provider_id,
+                ts=now,
+                device_class=body.device_class,
+                capacity=body.capacity,
+                benchmark_score=body.benchmark_score,
+            )
+        if was_known and self.health is not None:
+            if self.health.record_flap(body.provider_id, now):
+                self._raise_alert(
+                    ev.FLAPPING_ALERT,
+                    node=body.provider_id,
+                    ts=now,
+                    flaps=self.health.flap_count(body.provider_id),
+                    window_s=self.health.flap_window_s,
+                )
         if was_known:
             # A provider we already know re-registering means it crashed
             # and came back: everything assigned to its previous
@@ -253,6 +308,10 @@ class BrokerCore:
     def _on_unregister(self, body: Unregister) -> list[Envelope]:
         provider_id = NodeId(body.provider_id)
         self.registry.unregister(provider_id)
+        if self._events is not None:
+            self._events.record(
+                ev.NODE_LEAVE, node=body.provider_id, ts=self.clock.now()
+            )
         return self._fail_provider_executions(provider_id)
 
     def _on_heartbeat(self, body: Heartbeat) -> list[Envelope]:
@@ -403,6 +462,23 @@ class BrokerCore:
             state.issued += 1
             self.stats.executions_issued += 1
             self._by_execution[execution_id] = state.key
+            if self.health is not None:
+                self.health.watchdog.on_issue(
+                    execution_id=str(execution_id),
+                    provider_id=str(provider_id),
+                    tasklet_id=str(state.tasklet_id),
+                    fingerprint=state.program_fingerprint,
+                    speed_ips=record.effective_speed,
+                    now=now,
+                )
+            if self._events is not None:
+                self._events.record(
+                    ev.PLACEMENT,
+                    node=str(provider_id),
+                    ts=now,
+                    execution_id=str(execution_id),
+                    tasklet_id=str(state.tasklet_id),
+                )
             envelope = self._send(
                 AssignExecution(
                     execution_id=execution_id,
@@ -481,6 +557,20 @@ class BrokerCore:
         )
         if self._metrics is not None:
             self._metrics.execution_results.labels(status=record.status.value).inc()
+        if self.health is not None:
+            self.health.watchdog.on_result(
+                str(execution_id), record.ok, record.instructions
+            )
+        if self._events is not None and not record.ok:
+            self._events.record(
+                ev.EXECUTION_FAULT,
+                node=body.provider_id,
+                ts=self.clock.now(),
+                execution_id=str(execution_id),
+                tasklet_id=str(state.tasklet_id),
+                status=record.status.value,
+                error=record.error or "",
+            )
         self._end_assign_span(
             state, outstanding, "ok" if record.ok else record.status.value
         )
@@ -533,6 +623,14 @@ class BrokerCore:
         if not record.ok and state.budget_left > 0:
             if self._metrics is not None:
                 self._metrics.executions_reissued.inc()
+            if self._events is not None:
+                self._events.record(
+                    ev.REISSUE,
+                    node=str(record.provider_id),
+                    ts=self.clock.now(),
+                    tasklet_id=str(state.tasklet_id),
+                    after=record.status.value,
+                )
             out.extend(self._issue(state, 1))
 
         if not state.outstanding and state.pending_replicas == 0:
@@ -544,6 +642,15 @@ class BrokerCore:
                 )
                 if self._metrics is not None:
                     self._metrics.executions_reissued.inc(needed)
+                if self._events is not None:
+                    self._events.record(
+                        ev.REISSUE,
+                        node="",
+                        ts=self.clock.now(),
+                        tasklet_id=str(state.tasklet_id),
+                        after="undecided_vote",
+                        count=needed,
+                    )
                 out.extend(self._issue(state, needed))
             if not state.outstanding and state.pending_replicas == 0:
                 out.extend(self._complete_failed(state))
@@ -583,6 +690,27 @@ class BrokerCore:
             self._metrics.tasklets_completed.labels(
                 outcome="ok" if ok else "failed"
             ).inc()
+        if self._events is not None:
+            now = self.clock.now()
+            elapsed = now - state.submitted_at
+            if not ok:
+                self._raise_alert(
+                    ev.TASKLET_FAILED,
+                    node=str(state.consumer_id),
+                    ts=now,
+                    tasklet_id=str(state.tasklet_id),
+                    error=error or "",
+                    attempts=state.issued,
+                )
+            elif state.qoc.deadline_s is not None and elapsed > state.qoc.deadline_s:
+                self._raise_alert(
+                    ev.SLO_BREACH,
+                    node=str(state.consumer_id),
+                    ts=now,
+                    tasklet_id=str(state.tasklet_id),
+                    deadline_s=state.qoc.deadline_s,
+                    elapsed_s=round(elapsed, 6),
+                )
         if self._tracer is not None and state.trace_ctx is not None:
             self._tracer.record(
                 name="broker.tasklet",
@@ -602,6 +730,8 @@ class BrokerCore:
             # The replica's result is no longer needed; close its span so
             # a late ``provider.execute`` still has a parent in the tree.
             self._end_assign_span(state, outstanding, "cancelled")
+            if self.health is not None:
+                self.health.watchdog.on_lost(str(outstanding.execution_id))
             self._by_execution.pop(outstanding.execution_id, None)
             provider = self.registry.get(outstanding.provider_id)
             if provider is not None:
@@ -650,6 +780,8 @@ class BrokerCore:
             for outstanding in lost:
                 state.outstanding.pop(outstanding.execution_id, None)
                 self._by_execution.pop(outstanding.execution_id, None)
+                if self.health is not None:
+                    self.health.watchdog.on_lost(str(outstanding.execution_id))
                 self.stats.executions_lost += 1
                 self.stats.executions_failed += 1
                 record = ExecutionRecord(
@@ -690,6 +822,8 @@ class BrokerCore:
             for outstanding in expired:
                 state.outstanding.pop(outstanding.execution_id, None)
                 self._by_execution.pop(outstanding.execution_id, None)
+                if self.health is not None:
+                    self.health.watchdog.on_lost(str(outstanding.execution_id))
                 self.stats.executions_timed_out += 1
                 self.stats.executions_failed += 1
                 provider = self.registry.get(outstanding.provider_id)
@@ -718,6 +852,82 @@ class BrokerCore:
                 self._end_assign_span(state, outstanding, record.status.value)
                 out.extend(self._fold_record(state, record))
         return out
+
+    # -- health & alerts ---------------------------------------------------------
+
+    def _run_watchdog(self, now: float) -> None:
+        """Straggler detection + health gauges, once per tick."""
+        if self.health is None:
+            return
+        for alert in self.health.watchdog.check(now):
+            self._raise_alert(
+                ev.STRAGGLER_ALERT,
+                node=alert.provider_id,
+                ts=now,
+                execution_id=alert.execution_id,
+                tasklet_id=alert.tasklet_id,
+                expected_s=round(alert.expected_s, 6),
+                elapsed_s=round(alert.elapsed_s, 6),
+                multiple=alert.multiple,
+            )
+        metrics = self._health_metrics
+        if metrics is None:
+            return
+        metrics.stragglers_active.set(len(self.health.watchdog.active_stragglers()))
+        counts = {grade: 0 for grade in ("healthy", "degraded", "unhealthy")}
+        for card in self.health.scorecards(self.registry.records(), now):
+            metrics.provider_grade.labels(provider=card.provider_id).set(
+                GRADE_RANK[card.grade]
+            )
+            counts[card.grade] = counts.get(card.grade, 0) + 1
+        for grade, count in counts.items():
+            metrics.providers_by_grade.labels(grade=grade).set(count)
+
+    def _raise_alert(
+        self, kind: str, node: str = "", ts: float | None = None, **attrs
+    ) -> None:
+        """Record an operator alert: flight-recorder event + counter."""
+        if self._events is not None:
+            self._events.record(kind, node=node, ts=ts, **attrs)
+        if self._health_metrics is not None:
+            self._health_metrics.alerts.labels(kind=kind).inc()
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` document: pool status plus provider scorecards.
+
+        Works with telemetry disabled too (basic liveness only), so the
+        ObsServer health callback never depends on construction order.
+        """
+        now = self.clock.now()
+        records = list(self.registry.records())
+        doc: dict = {
+            "role": "broker",
+            "node": str(self.node_id),
+            "providers_total": len(records),
+            "providers_alive": sum(1 for record in records if record.alive),
+            "pending_tasklets": len(self._tasklets),
+        }
+        if self.health is None:
+            doc["status"] = "ok" if doc["providers_alive"] else "unhealthy"
+            return doc
+        cards = self.health.scorecards(records, now)
+        doc["status"] = overall_status(cards)
+        doc["providers"] = [card.to_dict() for card in cards]
+        doc["stragglers"] = [
+            {
+                "execution_id": watch.execution_id,
+                "provider_id": watch.provider_id,
+                "tasklet_id": watch.tasklet_id,
+                "elapsed_s": round(max(0.0, now - watch.issued_at), 6),
+                "expected_s": (
+                    round(watch.expected_s, 6)
+                    if watch.expected_s is not None
+                    else None
+                ),
+            }
+            for watch in self.health.watchdog.active_stragglers()
+        ]
+        return doc
 
     # -- helpers ----------------------------------------------------------------
 

@@ -186,6 +186,11 @@ class ProviderRegistry:
     def alive_providers(self) -> list[ProviderRecord]:
         return [record for record in self._providers.values() if record.alive]
 
+    def records(self) -> list[ProviderRecord]:
+        """All records (alive or not), in stable (id) order — the health
+        model grades dead providers too."""
+        return sorted(self._providers.values(), key=lambda r: r.provider_id)
+
     def views(self, require_free_slot: bool = False) -> list[ProviderView]:
         """Snapshot of all alive providers, in stable (id) order.
 

@@ -6,6 +6,8 @@
     python -m repro bench                          # TVM self-benchmark
     python -m repro simulate --providers desktop=2,sbc=4 --tasks 30
     python -m repro metrics  --format prom         # telemetered sim run
+    python -m repro metrics  --from-url http://127.0.0.1:9150   # live scrape
+    python -m repro top      http://127.0.0.1:9150 # live cluster view
     python -m repro report F3 F4                   # regenerate experiments
 
 ``compile``/``disasm``/``run`` accept either Tasklet source (``.tl``, or
@@ -142,6 +144,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if ok == args.tasks else 1
 
 
+def _fetch(url: str, timeout: float = 5.0) -> str:
+    """GET one ObsServer endpoint; raises TaskletError on failure."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as exc:
+        # ObsServer error statuses (healthz 503, 404) still carry a
+        # meaningful JSON document; surface it instead of failing.
+        return exc.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise TaskletError(f"cannot reach {url}: {exc}") from exc
+
+
+def _fetch_json(url: str, timeout: float = 5.0) -> dict:
+    try:
+        return json.loads(_fetch(url, timeout))
+    except json.JSONDecodeError as exc:
+        raise TaskletError(f"malformed JSON from {url}: {exc}") from exc
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run a short telemetered simulation and dump what it observed."""
     from .bench.simlib import run_workload
@@ -150,6 +175,22 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .sim.devices import make_pool
 
     from .sim.workloads import prime_count
+
+    if args.from_url:
+        base = args.from_url.rstrip("/")
+        if args.format == "prom":
+            print(_fetch(f"{base}/metrics"), end="")
+        elif args.format == "json":
+            print(
+                json.dumps(
+                    _fetch_json(f"{base}/metrics?format=json"),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:  # traces
+            print(_fetch(f"{base}/traces"), end="")
+        return 0
 
     telemetry = Telemetry()
     pool = make_pool(_parse_pool_spec(args.providers), seed=args.seed)
@@ -169,6 +210,107 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:  # traces
         print(format_trace(telemetry.spans.spans()))
     return 0
+
+
+def _render_top(health: dict, alerts: list[dict]) -> str:
+    """The ``repro top`` screen: pool summary, scorecards, alerts."""
+    lines = [
+        "cluster {node}: status={status}  providers={alive}/{total} alive  "
+        "pending={pending}".format(
+            node=health.get("node", "?"),
+            status=health.get("status", "?"),
+            alive=health.get("providers_alive", "?"),
+            total=health.get("providers_total", "?"),
+            pending=health.get("pending_tasklets", "?"),
+        )
+    ]
+    providers = health.get("providers") or []
+    if providers:
+        lines.append("")
+        lines.append(
+            f"{'PROVIDER':<18} {'CLASS':<12} {'GRADE':<10} {'BUSY':>7} "
+            f"{'RELIAB':>7} {'SPEED':>10} {'HB AGE':>8} {'FLAPS':>6} {'STRAG':>6}"
+        )
+        for card in providers:
+            busy = f"{card.get('outstanding', 0)}/{card.get('capacity', 0)}"
+            grade = card.get("grade", "?")
+            if not card.get("alive", True):
+                grade = f"{grade}(dead)"
+            lines.append(
+                f"{card.get('provider_id', '?'):<18} "
+                f"{card.get('device_class', '?'):<12} "
+                f"{grade:<10} {busy:>7} "
+                f"{card.get('reliability', 0):>7.2f} "
+                f"{card.get('effective_speed', 0):>10.3g} "
+                f"{card.get('heartbeat_age', 0):>7.1f}s "
+                f"{card.get('flaps', 0):>6} {card.get('straggling', 0):>6}"
+            )
+    stragglers = health.get("stragglers") or []
+    if stragglers:
+        lines.append("")
+        lines.append("stragglers:")
+        for watch in stragglers:
+            lines.append(
+                f"  {watch.get('execution_id', '?')} on "
+                f"{watch.get('provider_id', '?')}: "
+                f"{watch.get('elapsed_s', 0):.2f}s elapsed "
+                f"(expected {watch.get('expected_s', 0)}s)"
+            )
+    if alerts:
+        lines.append("")
+        lines.append("recent alerts:")
+        for event in alerts[-10:]:
+            attrs = event.get("attrs", {})
+            detail = " ".join(
+                f"{key}={value}" for key, value in sorted(attrs.items())
+            )
+            lines.append(
+                f"  [{event.get('ts', 0):.3f}] {event.get('kind', '?')} "
+                f"node={event.get('node', '?')} {detail}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live cluster view polled from a running ObsServer."""
+    import time
+
+    from .obs.events import ALERT_KINDS
+
+    base = args.url.rstrip("/")
+
+    def poll() -> tuple[dict, list[dict]]:
+        health = _fetch_json(f"{base}/healthz")
+        events = _fetch_json(f"{base}/events?limit=200").get("events", [])
+        alerts = [event for event in events if event.get("kind") in ALERT_KINDS]
+        return health, alerts
+
+    if args.once:
+        health, alerts = poll()
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {"health": health, "alerts": alerts},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(_render_top(health, alerts))
+        return 0
+
+    try:
+        while True:
+            try:
+                screen = _render_top(*poll())
+            except TaskletError as exc:
+                screen = f"(unreachable: {exc})"
+            # Clear and repaint; plain ANSI keeps this dependency-free.
+            sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -244,6 +386,19 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd = commands.add_parser(
         "metrics",
         help="run a telemetered simulation and print its metrics/traces",
+        epilog=(
+            "Two modes. Default: run a short simulated workload in-process "
+            "and dump its telemetry. With --from-url URL: scrape a live "
+            "ObsServer instead (prom -> GET /metrics, json -> GET "
+            "/metrics?format=json, traces -> GET /traces); the simulation "
+            "options are ignored."
+        ),
+    )
+    metrics_cmd.add_argument(
+        "--from-url",
+        metavar="URL",
+        help="scrape a running ObsServer (e.g. http://127.0.0.1:9150) "
+        "instead of simulating",
     )
     metrics_cmd.add_argument(
         "--providers", default="desktop=2,smartphone=2",
@@ -259,6 +414,31 @@ def build_parser() -> argparse.ArgumentParser:
         "traces = span-tree dump",
     )
     metrics_cmd.set_defaults(handler=_cmd_metrics)
+
+    top_cmd = commands.add_parser(
+        "top",
+        help="live cluster view polled from a running ObsServer",
+        epilog=(
+            "Polls /healthz and /events of the given ObsServer (a TcpBroker "
+            "started with obs_port=...) and repaints a cluster table every "
+            "--interval seconds; ctrl-c exits. Use --once for a single "
+            "snapshot, --once --format json for scripting."
+        ),
+    )
+    top_cmd.add_argument(
+        "url", help="ObsServer base URL, e.g. http://127.0.0.1:9150"
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (seconds)"
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="with --once: table (human) or json (machine)",
+    )
+    top_cmd.set_defaults(handler=_cmd_top)
 
     report_cmd = commands.add_parser(
         "report", help="run experiments and rewrite EXPERIMENTS.md"

@@ -20,6 +20,7 @@ from ..common.ids import NodeId, TaskletId
 from ..core.futures import TaskletFuture
 from ..core.results import ExecutionRecord, TaskletResult
 from ..core.tasklet import Tasklet
+from ..obs import events as ev
 from ..obs.telemetry import ConsumerMetrics, Telemetry
 from ..obs.trace import TraceContext
 from ..transport.message import (
@@ -56,6 +57,7 @@ class ConsumerCore:
         self.telemetry = telemetry
         self._metrics = ConsumerMetrics(telemetry.registry) if telemetry else None
         self._tracer = telemetry.tracer if telemetry else None
+        self._events = telemetry.events if telemetry else None
         self.stats = ConsumerStats()
         self._lock = threading.Lock()
         self._futures: dict[TaskletId, TaskletFuture] = {}
@@ -120,6 +122,14 @@ class ConsumerCore:
             self._submitted_at.clear()
             self._trace_ctx.clear()
         now = self.clock.now()
+        if pending and self._events is not None:
+            self._events.record(
+                ev.DISCONNECT,
+                node=str(self.node_id),
+                ts=now,
+                reason=reason,
+                pending_failed=len(pending),
+            )
         for tasklet_id, future in pending:
             self.stats.failed += 1
             self._record_finish(

@@ -1,6 +1,6 @@
-"""Live telemetry: metrics registry, distributed tracing, profiling glue.
+"""Live observability: metrics, tracing, events, health, HTTP endpoints.
 
-Dependency-free observability for the Tasklet middleware.  Three pillars:
+Dependency-free observability for the Tasklet middleware.  Five pillars:
 
 * :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
   and fixed-bucket histograms with labeled families, rendered as
@@ -9,6 +9,14 @@ Dependency-free observability for the Tasklet middleware.  Three pillars:
   :class:`TraceContext` rides on envelopes so one Tasklet's life
   (submit → place → assign → execute → result) becomes a single
   reconstructable span tree, stored in an in-memory ring buffer;
+* :mod:`repro.obs.events` — the flight recorder: typed lifecycle events
+  (node join/leave, placement, re-issue, reconnect, faults, alerts) in a
+  bounded ring, optionally mirrored to rotating JSONL files;
+* :mod:`repro.obs.health` — the broker-side cluster health model:
+  per-provider scorecards and the straggler watchdog;
+* :mod:`repro.obs.server` — :class:`ObsServer`, a stdlib HTTP server
+  exposing ``/metrics``, ``/healthz``, ``/readyz``, ``/traces``, and
+  ``/events`` from any middleware process;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the cores
   accept, plus per-subsystem metric bundles (broker, provider, consumer,
   transport).
@@ -19,6 +27,13 @@ check per event (guarded by ``benchmarks/bench_micro_telemetry.py``).
 """
 
 from .bridge import publish_broker_stats, publish_summary
+from .events import Event, FlightRecorder
+from .health import (
+    HealthModel,
+    ProviderScorecard,
+    StragglerAlert,
+    StragglerWatchdog,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -27,6 +42,7 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     parse_prometheus,
 )
+from .server import ObsServer
 from .trace import Span, SpanStore, TraceContext, Tracer, build_trace_tree, format_trace
 from .telemetry import (
     BrokerMetrics,
@@ -41,12 +57,19 @@ __all__ = [
     "ConsumerMetrics",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "FlightRecorder",
     "Gauge",
+    "HealthModel",
     "Histogram",
     "MetricsRegistry",
+    "ObsServer",
     "ProviderMetrics",
+    "ProviderScorecard",
     "Span",
     "SpanStore",
+    "StragglerAlert",
+    "StragglerWatchdog",
     "Telemetry",
     "TraceContext",
     "Tracer",

@@ -1,0 +1,232 @@
+"""ObsServer: live HTTP observability endpoints, stdlib-only.
+
+A tiny threaded HTTP server embeddable in any middleware process (the
+TCP broker and providers grow an ``obs_port=`` knob; anything holding a
+:class:`~repro.obs.telemetry.Telemetry` can run one).  It serves:
+
+* ``GET /metrics``  — Prometheus text exposition (``?format=json`` for
+  the registry snapshot);
+* ``GET /healthz``  — JSON health document from the owner's callback
+  (broker: cluster scorecards; provider: connection state); HTTP 503
+  when the status is ``unhealthy``;
+* ``GET /readyz``   — readiness probe (503 until the owner is serving);
+* ``GET /traces``   — span-tree dump (``?format=json`` for raw spans,
+  ``?trace_id=`` to select one trace);
+* ``GET /events``   — flight-recorder events (``?kind=``, ``?limit=``,
+  default 100).
+
+Built on :mod:`http.server`'s ``ThreadingHTTPServer``: each scrape is
+handled on its own thread, so a slow scraper never blocks another, and
+nothing outside the standard library is needed.  All reads go through
+the thread-safe obs stores; the server never mutates middleware state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from .events import FlightRecorder
+from .telemetry import Telemetry
+from .trace import format_trace
+
+#: Default number of events returned by ``/events`` without ``?limit=``.
+DEFAULT_EVENTS_LIMIT = 100
+
+_ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/traces", "/events")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the owning ObsServer hangs off ``self.server``."""
+
+    server_version = "ReproObs/1"
+
+    # The default handler logs every request to stderr; scrapes arrive
+    # every few seconds forever, so stay silent.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
+        split = urlsplit(self.path)
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        try:
+            if split.path == "/metrics":
+                self._metrics(obs, query)
+            elif split.path == "/healthz":
+                self._healthz(obs)
+            elif split.path == "/readyz":
+                self._readyz(obs)
+            elif split.path == "/traces":
+                self._traces(obs, query)
+            elif split.path == "/events":
+                self._events(obs, query)
+            else:
+                self._json(
+                    404, {"error": "not found", "endpoints": list(_ENDPOINTS)}
+                )
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # defensive: a scrape must never crash us
+            self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _metrics(self, obs: "ObsServer", query: dict[str, str]) -> None:
+        if query.get("format") == "json":
+            self._json(200, obs.telemetry.registry.snapshot())
+            return
+        body = obs.telemetry.registry.render_prometheus().encode()
+        self._raw(200, body, "text/plain; version=0.0.4; charset=utf-8")
+
+    def _healthz(self, obs: "ObsServer") -> None:
+        data = obs.health_document()
+        code = 503 if data.get("status") == "unhealthy" else 200
+        self._json(code, data)
+
+    def _readyz(self, obs: "ObsServer") -> None:
+        ready = obs.is_ready()
+        self._json(200 if ready else 503, {"ready": ready, "node": obs.node})
+
+    def _traces(self, obs: "ObsServer", query: dict[str, str]) -> None:
+        store = obs.telemetry.spans
+        trace_id = query.get("trace_id")
+        spans = store.for_trace(trace_id) if trace_id else store.spans()
+        if query.get("format") == "json":
+            self._json(
+                200,
+                {
+                    "spans": [span.to_dict() for span in spans],
+                    "dropped": store.dropped,
+                },
+            )
+            return
+        self._raw(200, (format_trace(spans) + "\n").encode(), "text/plain; charset=utf-8")
+
+    def _events(self, obs: "ObsServer", query: dict[str, str]) -> None:
+        recorder: FlightRecorder | None = obs.telemetry.events
+        if recorder is None:
+            self._json(200, {"events": [], "dropped": 0})
+            return
+        try:
+            limit = int(query.get("limit", DEFAULT_EVENTS_LIMIT))
+        except ValueError:
+            limit = DEFAULT_EVENTS_LIMIT
+        events = recorder.events(kind=query.get("kind"), limit=limit)
+        self._json(
+            200,
+            {
+                "events": [event.to_dict() for event in events],
+                "dropped": recorder.dropped,
+            },
+        )
+
+    # -- response plumbing -----------------------------------------------------
+
+    def _json(self, code: int, data: Any) -> None:
+        self._raw(
+            code,
+            json.dumps(data, sort_keys=True).encode(),
+            "application/json; charset=utf-8",
+        )
+
+    def _raw(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ObsServer:
+    """Embeddable observability HTTP server (see module docstring).
+
+    ``health`` is an optional zero-argument callable returning the JSON
+    document for ``/healthz``; it should include a ``status`` key
+    (``ok`` / ``degraded`` / ``unhealthy``).  ``ready`` is an optional
+    zero-argument callable for ``/readyz``.  Both are invoked on the
+    scrape thread, so they must be cheap and thread-safe.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node: str = "",
+        role: str = "",
+        health: Callable[[], dict[str, Any]] | None = None,
+        ready: Callable[[], bool] | None = None,
+    ):
+        self.telemetry = telemetry
+        self.node = node
+        self.role = role
+        self._health = health
+        self._ready = ready
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.obs = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"obs-{self.node or 'server'}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            # shutdown() blocks until serve_forever acknowledges, so only
+            # call it when the serving thread actually ran.
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def is_ready(self) -> bool:
+        if self._ready is None:
+            return True
+        try:
+            return bool(self._ready())
+        except Exception:
+            return False
+
+    def health_document(self) -> dict[str, Any]:
+        """The ``/healthz`` body: owner callback merged with identity."""
+        try:
+            data = dict(self._health()) if self._health is not None else {}
+        except Exception as exc:
+            data = {"status": "unhealthy", "error": f"{type(exc).__name__}: {exc}"}
+        data.setdefault("status", "ok")
+        data.setdefault("node", self.node)
+        data.setdefault("role", self.role)
+        return data

@@ -16,6 +16,7 @@ reconstructable from one place.
 
 from __future__ import annotations
 
+from .events import FlightRecorder
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from .trace import SpanStore, Tracer
 
@@ -32,16 +33,33 @@ RTT_BUCKETS: tuple[float, ...] = (
 
 
 class Telemetry:
-    """Bundle of one metrics registry plus one tracer/span store."""
+    """Bundle of metrics registry, tracer/span store, and flight recorder.
+
+    Pass ``events=FlightRecorder(jsonl_path=...)`` to mirror lifecycle
+    events into rotating JSONL files; the default recorder is in-memory
+    only.  Event volume is always visible in the exposition through the
+    ``repro_events_total{kind=...}`` counter attached here.
+    """
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         span_capacity: int = 4096,
+        events: FlightRecorder | None = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer(SpanStore(span_capacity))
+        # Not `or`: an empty FlightRecorder is falsy (len 0), which would
+        # silently discard a caller's JSONL-backed recorder.
+        self.events = events if events is not None else FlightRecorder()
+        self.events.attach_counter(
+            self.registry.counter(
+                "repro_events_total",
+                "Flight-recorder events recorded, by kind",
+                labelnames=("kind",),
+            )
+        )
 
     @property
     def spans(self) -> SpanStore:
@@ -196,4 +214,8 @@ class TransportMetrics:
             "repro_transport_heartbeat_rtt_seconds",
             "Provider-measured heartbeat round-trip time",
             buckets=RTT_BUCKETS,
+        )
+        self.heartbeats_unechoed = registry.counter(
+            "repro_transport_heartbeats_unechoed_total",
+            "Heartbeat acks carrying no RTT echo (silent RTT gaps)",
         )

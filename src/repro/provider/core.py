@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from ..common.clock import Clock
 from ..common.ids import NodeId
+from ..obs import events as ev
 from ..obs.telemetry import ProviderMetrics, Telemetry
 from ..obs.trace import TraceContext
 from ..transport.message import (
@@ -107,6 +108,7 @@ class ProviderCore:
         self.telemetry = telemetry
         self._metrics = ProviderMetrics(telemetry.registry) if telemetry else None
         self._tracer = telemetry.tracer if telemetry else None
+        self._events = telemetry.events if telemetry else None
         self.executor = TaskletExecutor(
             cache_size=self.config.program_cache_size,
             profile=self.config.profile_executions,
@@ -241,6 +243,16 @@ class ProviderCore:
                 value = corrupt_value(value, self.failure_model.rng)
         else:
             self.stats.vm_errors += 1
+            if self._events is not None:
+                self._events.record(
+                    ev.EXECUTION_FAULT,
+                    node=str(self.node_id),
+                    ts=finished_at,
+                    execution_id=str(request.execution_id),
+                    tasklet_id=str(request.tasklet_id),
+                    status=status.value,
+                    error=outcome.error or "",
+                )
 
         result = ExecutionResult(
             execution_id=request.execution_id,

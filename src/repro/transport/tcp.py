@@ -52,6 +52,8 @@ from ..consumer.core import ConsumerCore
 from ..consumer.library import TaskletLibrary
 from ..core.futures import TaskletFuture
 from ..core.tasklet import Tasklet
+from ..obs import events as ev
+from ..obs.server import ObsServer
 from ..obs.telemetry import ProviderMetrics, Telemetry, TransportMetrics
 from ..obs.trace import TraceContext
 from ..provider.benchmark import run_benchmark
@@ -157,8 +159,14 @@ class TcpBroker:
         strategy: str = "qoc",
         config: BrokerConfig | None = None,
         telemetry: Telemetry | None = None,
+        obs_port: int | None = None,
+        obs_host: str = "127.0.0.1",
     ):
         self.config = config or BrokerConfig()
+        if obs_port is not None and telemetry is None:
+            # An observability endpoint is useless without telemetry;
+            # asking for one implies opting in.
+            telemetry = Telemetry()
         self.telemetry = telemetry
         self._transport_metrics = (
             TransportMetrics(telemetry.registry) if telemetry else None
@@ -186,16 +194,35 @@ class TcpBroker:
         self._running = threading.Event()
         self._stop_event = threading.Event()
         self._threads: list[threading.Thread] = []
+        self.obs: ObsServer | None = (
+            ObsServer(
+                telemetry,
+                host=obs_host,
+                port=obs_port,
+                node=str(self.core.node_id),
+                role="broker",
+                health=self._health_document,
+                ready=self._running.is_set,
+            )
+            if obs_port is not None and telemetry is not None
+            else None
+        )
 
     @property
     def address(self) -> tuple[str, int]:
         return self._listener.getsockname()
+
+    def _health_document(self) -> dict:
+        with self._core_lock:
+            return self.core.health_snapshot()
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "TcpBroker":
         self._running.set()
         self._stop_event.clear()
+        if self.obs is not None:
+            self.obs.start()
         accept_thread = threading.Thread(
             target=self._accept_loop, name="broker-accept", daemon=True
         )
@@ -210,6 +237,8 @@ class TcpBroker:
     def stop(self) -> None:
         self._running.clear()
         self._stop_event.set()  # wakes the tick loop immediately
+        if self.obs is not None:
+            self.obs.stop()
         try:
             self._listener.close()
         except OSError:
@@ -330,6 +359,8 @@ class TcpProvider:
         telemetry: Telemetry | None = None,
         program_cache_size: int = PROGRAM_CACHE_SIZE,
         profile_executions: bool = False,
+        obs_port: int | None = None,
+        obs_host: str = "127.0.0.1",
     ):
         self.node_id = NodeId(node_id or random_id("prov"))
         self.capacity = capacity
@@ -339,12 +370,15 @@ class TcpProvider:
         self.reconnect = reconnect
         self.reconnect_backoff = reconnect_backoff
         self.reconnect_backoff_max = reconnect_backoff_max
+        if obs_port is not None and telemetry is None:
+            telemetry = Telemetry()
         self.telemetry = telemetry
         self._metrics = ProviderMetrics(telemetry.registry) if telemetry else None
         self._transport_metrics = (
             TransportMetrics(telemetry.registry) if telemetry else None
         )
         self._tracer = telemetry.tracer if telemetry else None
+        self._events = telemetry.events if telemetry else None
         self._score = benchmark_score  # measured once, cached for re-registration
         self._clock = WallClock()
         self._executor = TaskletExecutor(
@@ -375,6 +409,47 @@ class TcpProvider:
         self._epoch = 0
         self._rng = random.Random(self.node_id)
         self._broker = (broker_host, broker_port)
+        self.obs: ObsServer | None = (
+            ObsServer(
+                telemetry,
+                host=obs_host,
+                port=obs_port,
+                node=str(self.node_id),
+                role="provider",
+                health=self._health_document,
+                ready=self._is_connected,
+            )
+            if obs_port is not None and telemetry is not None
+            else None
+        )
+
+    def _is_connected(self) -> bool:
+        return self._running.is_set() and self._connection is not None
+
+    def _health_document(self) -> dict:
+        with self._active_lock:
+            active = self._active
+        with self._state_lock:
+            inflight = len(self._inflight)
+        connected = self._is_connected()
+        if not self._running.is_set():
+            status = "unhealthy"
+        elif not connected or self._draining.is_set():
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "role": "provider",
+            "node": str(self.node_id),
+            "connected": connected,
+            "draining": self._draining.is_set(),
+            "capacity": self.capacity,
+            "active_slots": active,
+            "inflight": inflight,
+            "epoch": self._epoch,
+            "benchmark_score": self._score,
+        }
 
     def start(self) -> "TcpProvider":
         if self._score is None:
@@ -389,6 +464,8 @@ class TcpProvider:
         self._stop_event.clear()
         self._draining.clear()
         self._register()
+        if self.obs is not None:
+            self.obs.start()
         connection_thread = threading.Thread(
             target=self._connection_loop, name=f"{self.node_id}-conn", daemon=True
         )
@@ -428,6 +505,8 @@ class TcpProvider:
             self._pool.shutdown(wait=False, cancel_futures=True)
         if self._connection is not None:
             self._connection.close()
+        if self.obs is not None:
+            self.obs.stop()
 
     def __enter__(self) -> "TcpProvider":
         return self.start()
@@ -469,6 +548,13 @@ class TcpProvider:
                 if self._connection is connection:
                     self._connection = None
                 connection = None
+                if self._events is not None and self._running.is_set():
+                    self._events.record(
+                        ev.DISCONNECT,
+                        node=str(self.node_id),
+                        reason="broker link lost",
+                        will_reconnect=self.reconnect,
+                    )
             if not self._running.is_set() or not self.reconnect:
                 return
             if self._stop_event.wait(self._jittered(backoff)):
@@ -489,6 +575,10 @@ class TcpProvider:
                 continue
             if self._transport_metrics is not None:
                 self._transport_metrics.reconnects.inc()
+            if self._events is not None:
+                self._events.record(
+                    ev.RECONNECT, node=str(self.node_id), epoch=self._epoch
+                )
             connection = candidate
             backoff = self.reconnect_backoff
 
@@ -502,30 +592,42 @@ class TcpProvider:
                     body = body_of(envelope)
                 except TransportError:
                     continue  # unknown message type: forward compatibility
-                if isinstance(body, AssignExecution):
-                    self._on_assign(body, envelope.trace)
-                elif isinstance(body, HeartbeatAck):
-                    if self._transport_metrics is not None and body.echo_sent_at:
-                        self._transport_metrics.heartbeat_rtt.observe(
-                            max(0.0, time.monotonic() - body.echo_sent_at)
-                        )
-                elif isinstance(body, CancelExecution):
-                    with self._state_lock:
-                        # Only executions still in flight can be
-                        # cancelled; anything else (already finished,
-                        # or assigned to a previous incarnation) would
-                        # leak in the set forever.
-                        if body.execution_id in self._inflight:
-                            self._cancelled.add(body.execution_id)
-                elif isinstance(body, RegisterAck):
-                    if not body.accepted and body.reason == REASON_UNKNOWN_PROVIDER:
-                        # The broker restarted and lost our registration:
-                        # it answers our heartbeat with this rejection to
-                        # ask us back.
-                        try:
-                            self._register()
-                        except (ConnectionClosed, TransportError):
-                            return
+                if not self._on_broker_message(body, envelope.trace):
+                    return
+
+    def _on_broker_message(
+        self, body, trace: dict[str, str] | None = None
+    ) -> bool:
+        """Dispatch one decoded broker message; False = stop reading."""
+        if isinstance(body, AssignExecution):
+            self._on_assign(body, trace)
+        elif isinstance(body, HeartbeatAck):
+            if self._transport_metrics is not None:
+                if body.echo_sent_at:
+                    self._transport_metrics.heartbeat_rtt.observe(
+                        max(0.0, time.monotonic() - body.echo_sent_at)
+                    )
+                else:
+                    # An ack without the echo gives no RTT sample; count
+                    # it so silent RTT gaps are visible, not just absent.
+                    self._transport_metrics.heartbeats_unechoed.inc()
+        elif isinstance(body, CancelExecution):
+            with self._state_lock:
+                # Only executions still in flight can be cancelled;
+                # anything else (already finished, or assigned to a
+                # previous incarnation) would leak in the set forever.
+                if body.execution_id in self._inflight:
+                    self._cancelled.add(body.execution_id)
+        elif isinstance(body, RegisterAck):
+            if not body.accepted and body.reason == REASON_UNKNOWN_PROVIDER:
+                # The broker restarted and lost our registration: it
+                # answers our heartbeat with this rejection to ask us
+                # back.
+                try:
+                    self._register()
+                except (ConnectionClosed, TransportError):
+                    return False
+        return True
 
     def _on_assign(
         self, request: AssignExecution, trace: dict[str, str] | None = None
@@ -631,25 +733,28 @@ class TcpProvider:
                         "instructions": outcome.instructions,
                     },
                 )
-        if self._finish_execution(request.execution_id):
-            return
-        if epoch != self._epoch:
-            return  # assigned before a re-registration: void, never send
-        result = ExecutionResult(
-            execution_id=request.execution_id,
-            tasklet_id=request.tasklet_id,
-            provider_id=self.node_id,
-            status=outcome.status.value,
-            value=outcome.value,
-            error=outcome.error,
-            instructions=outcome.instructions,
-            started_at=started,
-            finished_at=finished,
-        )
-        try:
-            self._send(result.envelope(self.node_id, BROKER_ADDRESS))
-        except (ConnectionClosed, TransportError):
-            pass  # broker gone; re-registration will fail this execution
+        with self._state_lock:
+            cancelled = request.execution_id in self._cancelled
+        # Send before purging bookkeeping: a draining stop() waits on
+        # ``_inflight`` emptying, and its unregister must not be able to
+        # overtake this result on the wire.
+        if not cancelled and epoch == self._epoch:
+            result = ExecutionResult(
+                execution_id=request.execution_id,
+                tasklet_id=request.tasklet_id,
+                provider_id=self.node_id,
+                status=outcome.status.value,
+                value=outcome.value,
+                error=outcome.error,
+                instructions=outcome.instructions,
+                started_at=started,
+                finished_at=finished,
+            )
+            try:
+                self._send(result.envelope(self.node_id, BROKER_ADDRESS))
+            except (ConnectionClosed, TransportError):
+                pass  # broker gone; re-registration will fail this execution
+        self._finish_execution(request.execution_id)
 
 
 class TcpConsumer:

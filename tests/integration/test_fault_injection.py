@@ -119,7 +119,19 @@ def test_broker_restart_fails_consumer_futures_and_provider_reconnects():
 
         # Provider side: a new broker on the same address sees the
         # provider re-register all by itself (cached benchmark, backoff).
-        second = TcpBroker(host=host, port=port, config=fast_config()).start()
+        # Rebinding the just-freed port can transiently fail while the
+        # old listener's sockets drain; the retry is not the test.
+        bind_deadline = time.perf_counter() + 5.0
+        while True:
+            try:
+                second = TcpBroker(
+                    host=host, port=port, config=fast_config()
+                ).start()
+                break
+            except OSError:
+                if time.perf_counter() >= bind_deadline:
+                    raise
+                time.sleep(0.05)
         wait_until(
             lambda: len(second.core.registry) == 1,
             timeout=15,
@@ -205,6 +217,10 @@ def test_drain_stop_flushes_in_flight_results_before_unregistering():
         consumer = TcpConsumer(host, port).start()
         future = consumer.library.submit(kernels.PRIME_COUNT, args=[20000])
         wait_until(lambda: server.core.stats.executions_issued >= 1)
+        # The broker has issued the work, but drain only protects what
+        # the provider has actually received — wait out the assignment's
+        # flight time or the unregister races past it.
+        wait_until(lambda: len(provider._inflight) > 0, message="assignment arrival")
         provider.stop(drain=True)  # finish + flush, then unregister
         assert future.result(timeout=10) == kernels.python_prime_count(20000)
         wait_until(lambda: len(server.core.registry) == 0, timeout=5)

@@ -6,13 +6,18 @@ different "nodes" across threads — land in one store and reassemble into
 a single tree, and the exposition carries all four subsystem families.
 """
 
+import json
 import time
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.core import kernels
 from repro.obs import Telemetry, build_trace_tree, parse_prometheus
+from repro.obs import events as ev
 from repro.obs.metrics import iter_metric_names
+from repro.transport.message import HeartbeatAck
 from repro.transport.tcp import TcpBroker, TcpConsumer, TcpProvider
 
 from .test_tcp import wait_for_registration
@@ -123,3 +128,104 @@ def test_connections_gauge_returns_to_zero(broker, telemetry):
     while gauge.value != 0 and time.perf_counter() < deadline:
         time.sleep(0.02)
     assert gauge.value == 0
+
+
+def test_unechoed_heartbeat_acks_are_counted(telemetry):
+    # A constructed (never-started) provider exercises the dispatch path
+    # directly: an ack without the RTT echo must tick the gap counter,
+    # one with it must observe an RTT sample instead.
+    provider = TcpProvider(
+        "127.0.0.1", 1, node_id="p1", benchmark_score=1e7, telemetry=telemetry
+    )
+    counter = telemetry.registry.get("repro_transport_heartbeats_unechoed_total")
+    rtt = telemetry.registry.get("repro_transport_heartbeat_rtt_seconds")
+    assert provider._on_broker_message(
+        HeartbeatAck(provider_id="p1", echo_sent_at=0.0)
+    )
+    assert counter.value == 1
+    assert rtt.count == 0
+    assert provider._on_broker_message(
+        HeartbeatAck(provider_id="p1", echo_sent_at=time.monotonic())
+    )
+    assert counter.value == 1
+    assert rtt.count == 1
+
+
+def _get(url):
+    """GET -> (status, body-bytes); HTTP error statuses don't raise."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def test_live_obs_endpoints_on_broker_and_provider(telemetry):
+    """A broker started with ``obs_port`` serves the full operational
+    plane over HTTP while the cluster runs; a provider does likewise."""
+    server = TcpBroker(telemetry=telemetry, obs_port=0).start()
+    try:
+        host, port = server.address
+        # A modest claimed benchmark keeps the speed-delivery check green
+        # on any machine (being faster than promised never degrades).
+        provider = TcpProvider(
+            host, port, node_id="p1", benchmark_score=1e5, capacity=2,
+            obs_port=0,  # auto-creates its own Telemetry
+        )
+        with provider:
+            wait_for_registration(server, 1)
+            with TcpConsumer(host, port, telemetry=telemetry) as consumer:
+                futures = consumer.library.map(kernels.PRIME_COUNT, [[200]] * 2)
+                consumer.library.gather(futures, timeout=60)
+
+            base = server.obs.url
+            # Health gauges are sampled on broker ticks; wait out the
+            # first tick rather than racing it.
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                status, body = _get(base + "/metrics")
+                assert status == 200
+                parsed = parse_prometheus(body.decode())
+                if parsed.get("repro_health_providers", {}).get('grade="healthy"'):
+                    break
+                time.sleep(0.05)
+            assert parsed["repro_broker_tasklets_submitted_total"][""] == 2
+            assert parsed["repro_health_providers"]['grade="healthy"'] == 1
+            assert 'kind="placement"' in body.decode()  # repro_events_total
+
+            status, body = _get(base + "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["status"] == "ok"
+            assert doc["role"] == "broker"
+            assert [p["provider_id"] for p in doc["providers"]] == ["p1"]
+            assert doc["providers"][0]["grade"] == "healthy"
+
+            status, body = _get(base + "/events?kind=" + ev.NODE_JOIN)
+            assert status == 200
+            joins = json.loads(body)["events"]
+            assert [event["node"] for event in joins] == ["p1"]
+
+            assert _get(base + "/readyz")[0] == 200
+
+            # The provider's own plane: identity + connection state.
+            status, body = _get(provider.obs.url + "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc == {
+                "status": "ok",
+                "role": "provider",
+                "node": "p1",
+                "connected": True,
+                "draining": False,
+                "capacity": 2,
+                "active_slots": 0,
+                "inflight": 0,
+                "epoch": 1,
+                "benchmark_score": 1e5,
+            }
+    finally:
+        server.stop()
+    # Stopped broker: the obs endpoint is gone with it.
+    with pytest.raises((urllib.error.URLError, OSError)):
+        urllib.request.urlopen(server.obs.url + "/healthz", timeout=0.5)

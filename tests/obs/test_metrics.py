@@ -86,6 +86,39 @@ class TestHistogram:
         histogram.observe(1.0)
         assert histogram.labels().cumulative_buckets()[0] == (1.0, 1)
 
+    def test_every_default_boundary_is_inclusive(self, registry):
+        # Regression for the bisect-based bucket lookup: a value exactly
+        # on any default boundary must land in that bucket, never the
+        # next one up (Prometheus `le` is an inclusive upper bound).
+        histogram = registry.histogram(
+            "lat", buckets=DEFAULT_LATENCY_BUCKETS
+        )
+        for boundary in DEFAULT_LATENCY_BUCKETS:
+            histogram.observe(boundary)
+        cumulative = histogram.labels().cumulative_buckets()
+        for index, (bound, count) in enumerate(cumulative[:-1]):
+            assert bound == DEFAULT_LATENCY_BUCKETS[index]
+            assert count == index + 1, f"boundary {bound} leaked upward"
+        assert cumulative[-1] == (float("inf"), len(DEFAULT_LATENCY_BUCKETS))
+
+    def test_just_past_boundary_lands_in_next_bucket(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(1.0000001)
+        assert histogram.labels().cumulative_buckets() == [
+            (1.0, 0), (2.0, 1), (float("inf"), 1)
+        ]
+
+    def test_boundary_on_labeled_family(self, registry):
+        family = registry.histogram(
+            "lat", buckets=(0.5, 1.0), labelnames=("op",)
+        )
+        family.labels(op="read").observe(0.5)
+        family.labels(op="write").observe(1.0)
+        assert family.labels(op="read").cumulative_buckets()[0] == (0.5, 1)
+        assert family.labels(op="write").cumulative_buckets() == [
+            (0.5, 0), (1.0, 1), (float("inf"), 1)
+        ]
+
     def test_unsorted_buckets_are_sorted(self, registry):
         histogram = registry.histogram("lat", buckets=(5.0, 1.0))
         assert histogram.buckets == (1.0, 5.0)

@@ -1,0 +1,186 @@
+"""ObsServer HTTP endpoints: content, status codes, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import ObsServer, Telemetry, parse_prometheus
+from repro.obs import events as ev
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+def get(url, timeout=5.0):
+    """GET -> (status, headers, body-bytes); error statuses don't raise."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_exposition(self, telemetry):
+        telemetry.registry.counter("repro_test_total", "help text").inc(3)
+        with ObsServer(telemetry) as server:
+            status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = parse_prometheus(body.decode())
+        assert families["repro_test_total"] == {"": 3.0}
+
+    def test_json_snapshot(self, telemetry):
+        telemetry.registry.gauge("repro_test_gauge", "help").set(7)
+        with ObsServer(telemetry) as server:
+            status, headers, body = get(server.url + "/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        snapshot = json.loads(body)
+        assert snapshot["repro_test_gauge"]["samples"][0]["value"] == 7
+
+    def test_concurrent_scrapes_all_succeed(self, telemetry):
+        telemetry.registry.counter("repro_test_total", "help").inc()
+        results = []
+        with ObsServer(telemetry) as server:
+            url = server.url + "/metrics"
+
+            def scrape():
+                results.append(get(url)[0])
+
+            threads = [threading.Thread(target=scrape) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert results == [200] * 8
+
+
+class TestHealthEndpoints:
+    def test_healthz_defaults_to_ok_identity(self, telemetry):
+        with ObsServer(telemetry, node="n1", role="broker") as server:
+            status, _, body = get(server.url + "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc == {"status": "ok", "node": "n1", "role": "broker"}
+
+    def test_healthz_serves_callback_document(self, telemetry):
+        def health():
+            return {"status": "degraded", "providers": []}
+
+        with ObsServer(telemetry, node="n1", health=health) as server:
+            status, _, body = get(server.url + "/healthz")
+        assert status == 200  # degraded is still serving
+        assert json.loads(body)["status"] == "degraded"
+
+    def test_unhealthy_is_503(self, telemetry):
+        with ObsServer(telemetry, health=lambda: {"status": "unhealthy"}) as server:
+            status, _, body = get(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "unhealthy"
+
+    def test_crashing_health_callback_reports_unhealthy(self, telemetry):
+        def health():
+            raise RuntimeError("boom")
+
+        with ObsServer(telemetry, health=health) as server:
+            status, _, body = get(server.url + "/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["status"] == "unhealthy"
+        assert "boom" in doc["error"]
+
+    def test_readyz_tracks_callback(self, telemetry):
+        ready = threading.Event()
+        with ObsServer(telemetry, node="n1", ready=ready.is_set) as server:
+            status, _, body = get(server.url + "/readyz")
+            assert status == 503
+            assert json.loads(body) == {"ready": False, "node": "n1"}
+            ready.set()
+            status, _, body = get(server.url + "/readyz")
+            assert status == 200
+            assert json.loads(body)["ready"] is True
+
+    def test_readyz_defaults_ready(self, telemetry):
+        with ObsServer(telemetry) as server:
+            assert get(server.url + "/readyz")[0] == 200
+
+
+class TestTracesEndpoint:
+    def _record_span(self, telemetry, name="tasklet"):
+        context = telemetry.tracer.start_trace()
+        telemetry.tracer.record(
+            name=name, context=context, node="n1", start=0.0, end=1.0
+        )
+        return context.trace_id
+
+    def test_text_dump(self, telemetry):
+        self._record_span(telemetry)
+        with ObsServer(telemetry) as server:
+            status, headers, body = get(server.url + "/traces")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "tasklet" in body.decode()
+
+    def test_json_dump_and_trace_filter(self, telemetry):
+        keep = self._record_span(telemetry, name="keep")
+        self._record_span(telemetry, name="other")
+        with ObsServer(telemetry) as server:
+            _, _, body = get(
+                f"{server.url}/traces?format=json&trace_id={keep}"
+            )
+        doc = json.loads(body)
+        assert [span["name"] for span in doc["spans"]] == ["keep"]
+
+
+class TestEventsEndpoint:
+    def test_events_with_kind_and_limit(self, telemetry):
+        for i in range(5):
+            telemetry.events.record(ev.PLACEMENT, node=f"p{i}", ts=float(i))
+        telemetry.events.record(ev.NODE_DEAD, node="p9", ts=9.0)
+        with ObsServer(telemetry) as server:
+            _, _, body = get(server.url + "/events")
+            doc = json.loads(body)
+            assert len(doc["events"]) == 6
+            _, _, body = get(
+                server.url + f"/events?kind={ev.PLACEMENT}&limit=2"
+            )
+            doc = json.loads(body)
+        assert [event["node"] for event in doc["events"]] == ["p3", "p4"]
+        assert doc["dropped"] == 0
+
+    def test_bad_limit_falls_back_to_default(self, telemetry):
+        telemetry.events.record("k", ts=1.0)
+        with ObsServer(telemetry) as server:
+            status, _, body = get(server.url + "/events?limit=banana")
+        assert status == 200
+        assert len(json.loads(body)["events"]) == 1
+
+
+class TestRouting:
+    def test_unknown_path_is_404_with_directory(self, telemetry):
+        with ObsServer(telemetry) as server:
+            status, _, body = get(server.url + "/nope")
+        assert status == 404
+        doc = json.loads(body)
+        assert "/metrics" in doc["endpoints"]
+        assert "/healthz" in doc["endpoints"]
+
+    def test_query_strings_do_not_break_routing(self, telemetry):
+        with ObsServer(telemetry) as server:
+            assert get(server.url + "/healthz?verbose=1")[0] == 200
+
+    def test_url_and_address_report_the_bound_port(self, telemetry):
+        server = ObsServer(telemetry)  # port=0: ephemeral
+        try:
+            host, port = server.address
+            assert host == "127.0.0.1"
+            assert port > 0
+            assert server.url == f"http://127.0.0.1:{port}"
+        finally:
+            server.stop()

@@ -176,6 +176,104 @@ class TestMetrics:
             assert name in out
 
 
+@pytest.fixture
+def obs_server():
+    """A live ObsServer with a populated registry, recorder, and health doc."""
+    from repro.obs import ObsServer, Telemetry
+    from repro.obs import events as ev
+
+    telemetry = Telemetry()
+    telemetry.registry.counter("repro_demo_total", "demo counter").inc(4)
+    telemetry.events.record(ev.NODE_JOIN, node="p1", ts=1.0)
+    telemetry.events.record(
+        ev.STRAGGLER_ALERT, node="p1", ts=2.0, execution_id="ex-1"
+    )
+
+    def health():
+        return {
+            "status": "degraded",
+            "role": "broker",
+            "providers_alive": 1,
+            "providers_total": 1,
+            "pending_tasklets": 0,
+            "providers": [
+                {
+                    "provider_id": "p1",
+                    "device_class": "desktop",
+                    "grade": "degraded",
+                    "alive": True,
+                    "capacity": 2,
+                    "outstanding": 1,
+                    "reliability": 0.9,
+                    "effective_speed": 1e6,
+                    "heartbeat_age": 0.3,
+                    "flaps": 0,
+                    "straggling": 1,
+                }
+            ],
+            "stragglers": [
+                {
+                    "execution_id": "ex-1",
+                    "provider_id": "p1",
+                    "tasklet_id": "t-1",
+                    "elapsed_s": 4.2,
+                    "expected_s": 1.0,
+                }
+            ],
+        }
+
+    with ObsServer(telemetry, node="b1", role="broker", health=health) as server:
+        yield server
+
+
+class TestObsCli:
+    """`metrics --from-url` and `top` against a live ObsServer."""
+
+    def test_metrics_from_url_prom(self, obs_server, capsys):
+        assert main(["metrics", "--from-url", obs_server.url]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_demo_total counter" in out
+        assert "repro_demo_total 4" in out
+
+    def test_metrics_from_url_json(self, obs_server, capsys):
+        code = main(
+            ["metrics", "--from-url", obs_server.url, "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_demo_total"]["samples"][0]["value"] == 4
+
+    def test_metrics_from_unreachable_url_errors(self, capsys):
+        code = main(["metrics", "--from-url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_top_once_json(self, obs_server, capsys):
+        code = main(["top", obs_server.url, "--once", "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["health"]["status"] == "degraded"
+        assert doc["health"]["providers"][0]["provider_id"] == "p1"
+        # Only alert-kind events survive the client-side filter.
+        assert [alert["kind"] for alert in doc["alerts"]] == ["straggler_alert"]
+
+    def test_top_once_table(self, obs_server, capsys):
+        assert main(["top", obs_server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster b1: status=degraded  providers=1/1 alive" in out
+        assert "PROVIDER" in out and "GRADE" in out
+        assert "p1" in out and "degraded" in out
+        assert "stragglers:" in out
+        assert "ex-1 on p1: 4.20s elapsed (expected 1.0s)" in out
+        assert "recent alerts:" in out
+        assert "straggler_alert" in out
+
+    def test_top_unreachable_url_errors(self, capsys):
+        code = main(["top", "http://127.0.0.1:1", "--once"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_single_experiment(self, tmp_path, capsys):
         out = str(tmp_path / "EXP.md")
