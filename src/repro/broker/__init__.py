@@ -1,6 +1,14 @@
 """Broker: provider registry, scheduling strategies, and the broker core."""
 
 from .core import BrokerConfig, BrokerCore, BrokerStats
+from .journal import (
+    CompletionRecord,
+    JournalSnapshot,
+    ResultCache,
+    WorkJournal,
+    memo_key_of,
+    replay_journal,
+)
 from .registry import ProviderRecord, ProviderRegistry, ProviderView
 from .scheduling import (
     FastestFirstStrategy,
@@ -18,9 +26,15 @@ __all__ = [
     "BrokerConfig",
     "BrokerCore",
     "BrokerStats",
+    "CompletionRecord",
+    "JournalSnapshot",
     "ProviderRecord",
     "ProviderRegistry",
     "ProviderView",
+    "ResultCache",
+    "WorkJournal",
+    "memo_key_of",
+    "replay_journal",
     "FastestFirstStrategy",
     "LeastLoadedStrategy",
     "QoCStrategy",

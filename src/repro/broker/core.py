@@ -15,11 +15,17 @@ Responsibilities:
 * the QoC machinery: redundant execution with majority voting, re-issue
   of failed/lost/timed-out executions within the attempt budget, deadline
   enforcement, cost filtering (inside the strategy);
-* replica queueing when the pool is saturated, drained as capacity frees.
+* replica queueing when the pool is saturated, drained as capacity frees;
+* durability: admissions and terminal outcomes are journalled (when a
+  :class:`~repro.broker.journal.WorkJournal` is attached), pending work is
+  re-admitted after a restart, and identical resubmissions are answered
+  from journalled completions or the result-memoization cache instead of
+  being re-executed (Tasklets are deterministic and side-effect-free).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..common.clock import Clock
@@ -39,6 +45,7 @@ from ..obs.health import (
 from ..obs.telemetry import BrokerMetrics, Telemetry
 from ..obs.trace import TraceContext
 from .accounting import CostLedger
+from .journal import CompletionRecord, ResultCache, WorkJournal, memo_key_of
 from .registry import ProviderRegistry
 from .scheduling import QoCStrategy, Strategy
 from ..transport.message import (
@@ -84,6 +91,17 @@ class BrokerConfig:
     #: Floor on expected runtime, absorbing scheduling/transport jitter
     #: for very short programs.
     straggler_min_expected_s: float = 0.05
+    #: Serve repeated identical submissions (same program fingerprint,
+    #: entry, args, seed, fuel) from the result cache with zero
+    #: executions issued.  Safe because Tasklets are deterministic and
+    #: side-effect-free; disable to force every submission to execute.
+    memoize_results: bool = True
+    #: LRU capacity of the result-memoization cache (<= 0 disables it
+    #: regardless of ``memoize_results``).
+    result_cache_size: int = 4096
+    #: Completed-tasklet records retained in memory for idempotent
+    #: resubmit re-delivery (LRU by completion recency).
+    completed_retention: int = 8192
 
 
 @dataclass
@@ -100,6 +118,15 @@ class BrokerStats:
     executions_lost: int = 0
     replicas_queued: int = 0
     providers_failed: int = 0
+    #: Replicas dropped because the scheduling backlog was full (the
+    #: owning tasklet is failed fast instead of stranded).
+    replicas_overflowed: int = 0
+    #: Pending tasklets re-admitted from the work journal at startup.
+    tasklets_recovered: int = 0
+    #: Journalled completions re-delivered on idempotent resubmit.
+    completions_redelivered: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
 
 @dataclass
@@ -138,6 +165,8 @@ class _TaskletState:
     pending_replicas: int = 0  # replicas wanted but not yet placeable
     issued: int = 0  # total executions ever issued
     done: bool = False
+    #: Computation identity for result memoization (None = not memoizable).
+    memo_key: str | None = None
     #: Telemetry contexts: the ``broker.tasklet`` span and the consumer's
     #: root context it parents on (both None when telemetry is disabled).
     trace_ctx: TraceContext | None = None
@@ -163,6 +192,7 @@ class BrokerCore:
         node_id: NodeId = BROKER_ADDRESS,
         id_generator: IdGenerator | None = None,
         telemetry: Telemetry | None = None,
+        journal: WorkJournal | None = None,
     ):
         self.node_id = node_id
         self.clock = clock
@@ -200,6 +230,18 @@ class BrokerCore:
         self._by_execution: dict[ExecutionId, str] = {}
         #: Tasklet keys with queued replicas, in FIFO order of first queueing.
         self._backlog: list[str] = []
+        #: Durability: journal (may be None), terminal outcomes by tasklet
+        #: key (LRU-bounded, serves idempotent resubmits), and the result
+        #: memoization cache by computation identity.
+        self.journal = journal
+        self._completed: "OrderedDict[str, CompletionRecord]" = OrderedDict()
+        self.result_cache: ResultCache | None = (
+            ResultCache(self.config.result_cache_size)
+            if self.config.memoize_results and self.config.result_cache_size > 0
+            else None
+        )
+        if journal is not None:
+            self._recover(journal)
 
     # -- message dispatch ----------------------------------------------------
 
@@ -373,7 +415,28 @@ class BrokerCore:
             )
             return [self._send(ack, src)]
         key = f"{src}/{tasklet.tasklet_id}"
-        if key in self._tasklets:
+        completed = self._completed.get(key)
+        if completed is not None:
+            # Idempotent resubmit of an already-completed tasklet (the
+            # consumer reconnected, or the broker restarted between the
+            # result and the consumer seeing it): re-deliver the
+            # journalled outcome, execute nothing.
+            return self._redeliver(completed, src)
+        existing = self._tasklets.get(key)
+        if existing is not None:
+            fingerprint = body.tasklet.get("program_fingerprint", "")
+            if (
+                existing.program_fingerprint == fingerprint
+                and existing.entry == tasklet.entry
+                and existing.args == tasklet.args
+                and existing.seed == tasklet.seed
+                and existing.fuel == tasklet.fuel
+            ):
+                # Idempotent resubmit of in-flight work (e.g. after a
+                # consumer reconnect): re-ack, keep the running attempt,
+                # and it will complete to the resubmitting consumer.
+                ack = SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True)
+                return [self._send(ack, src)]
             ack = SubmitAck(
                 tasklet_id=tasklet.tasklet_id,
                 accepted=False,
@@ -381,20 +444,24 @@ class BrokerCore:
             )
             return [self._send(ack, src)]
 
-        state = _TaskletState(
-            key=key,
-            tasklet_id=tasklet.tasklet_id,
-            consumer_id=src,
-            qoc=tasklet.qoc,
-            program=body.tasklet["program"],
-            program_fingerprint=body.tasklet.get("program_fingerprint", ""),
-            entry=tasklet.entry,
-            args=tasklet.args,
-            seed=tasklet.seed,
-            fuel=tasklet.fuel,
-            submitted_at=self.clock.now(),
-            collector=VoteCollector(tasklet.qoc.redundancy),
+        now = self.clock.now()
+        memo = memo_key_of(
+            body.tasklet.get("program_fingerprint", ""),
+            tasklet.entry,
+            tasklet.args,
+            tasklet.seed,
+            tasklet.fuel,
         )
+        if self.result_cache is not None and memo is not None:
+            hit = self.result_cache.get(memo)
+            if hit is not None:
+                return self._complete_from_cache(key, tasklet, src, hit, memo, now)
+            self.stats.memo_misses += 1
+            if self._metrics is not None:
+                self._metrics.memo_cache.labels(result="miss").inc()
+
+        state = self._build_state(src, tasklet, body.tasklet, now)
+        state.memo_key = memo
         if self._tracer is not None:
             parent = TraceContext.from_dict(trace)
             state.trace_parent = parent
@@ -402,9 +469,194 @@ class BrokerCore:
                 self._tracer.child(parent) if parent else self._tracer.start_trace()
             )
         self._tasklets[key] = state
+        if self.journal is not None:
+            self.journal.record_admitted(key, str(src), body.tasklet, ts=now)
+            if self._metrics is not None:
+                self._metrics.journal_records.labels(kind="admitted").inc()
         out = [self._send(SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True), src)]
         out.extend(self._issue(state, tasklet.qoc.redundancy))
         return out
+
+    def _build_state(
+        self, src: NodeId, tasklet: Tasklet, tasklet_dict: dict, now: float
+    ) -> _TaskletState:
+        return _TaskletState(
+            key=f"{src}/{tasklet.tasklet_id}",
+            tasklet_id=tasklet.tasklet_id,
+            consumer_id=src,
+            qoc=tasklet.qoc,
+            program=tasklet_dict["program"],
+            program_fingerprint=tasklet_dict.get("program_fingerprint", ""),
+            entry=tasklet.entry,
+            args=tasklet.args,
+            seed=tasklet.seed,
+            fuel=tasklet.fuel,
+            submitted_at=now,
+            collector=VoteCollector(tasklet.qoc.redundancy),
+        )
+
+    def _complete_from_cache(
+        self,
+        key: str,
+        tasklet: Tasklet,
+        src: NodeId,
+        hit: CompletionRecord,
+        memo: str,
+        now: float,
+    ) -> list[Envelope]:
+        """Serve a submission from the result cache: zero executions."""
+        self.stats.memo_hits += 1
+        self.stats.tasklets_completed += 1
+        if self._metrics is not None:
+            self._metrics.memo_cache.labels(result="hit").inc()
+            self._metrics.tasklets_completed.labels(outcome="memoized").inc()
+        if self._events is not None:
+            self._events.record(
+                ev.MEMO_HIT,
+                node=str(src),
+                ts=now,
+                tasklet_id=str(tasklet.tasklet_id),
+                memo_key=memo,
+            )
+        completion = CompletionRecord(
+            key=key,
+            tasklet_id=str(tasklet.tasklet_id),
+            consumer_id=str(src),
+            ok=True,
+            value=hit.value,
+            attempts=0,
+            cost=0.0,
+            memo_key=memo,
+            completed_at=now,
+        )
+        self._remember_completion(completion)
+        return [
+            self._send(SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True), src),
+            self._send(
+                TaskletComplete(
+                    tasklet_id=tasklet.tasklet_id,
+                    ok=True,
+                    value=hit.value,
+                    attempts=0,
+                    cost=0.0,
+                    executions=[],
+                ),
+                src,
+            ),
+        ]
+
+    def _redeliver(
+        self, completion: CompletionRecord, src: NodeId
+    ) -> list[Envelope]:
+        """Answer a resubmit of completed work from the journalled outcome."""
+        self.stats.completions_redelivered += 1
+        if self._metrics is not None:
+            self._metrics.completions_redelivered.inc()
+        if self._events is not None:
+            self._events.record(
+                ev.RESULT_REDELIVERED,
+                node=str(src),
+                ts=self.clock.now(),
+                tasklet_id=completion.tasklet_id,
+                ok=completion.ok,
+            )
+        return [
+            self._send(
+                SubmitAck(tasklet_id=completion.tasklet_id, accepted=True), src
+            ),
+            self._send(
+                TaskletComplete(
+                    tasklet_id=completion.tasklet_id,
+                    ok=completion.ok,
+                    value=completion.value,
+                    error=completion.error,
+                    attempts=completion.attempts,
+                    cost=completion.cost,
+                    executions=[],
+                ),
+                src,
+            ),
+        ]
+
+    def _remember_completion(
+        self, completion: CompletionRecord, journal_write: bool = True
+    ) -> None:
+        """Index (and optionally journal) one terminal outcome."""
+        self._completed[completion.key] = completion
+        self._completed.move_to_end(completion.key)
+        while len(self._completed) > max(1, self.config.completed_retention):
+            self._completed.popitem(last=False)
+        if (
+            completion.ok
+            and completion.memo_key
+            and self.result_cache is not None
+        ):
+            self.result_cache.put(completion.memo_key, completion)
+        if journal_write and self.journal is not None:
+            self.journal.record_complete(completion)
+            if self._metrics is not None:
+                self._metrics.journal_records.labels(kind="complete").inc()
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def _recover(self, journal: WorkJournal) -> None:
+        """Replay the journal: re-index completions, re-admit pending work.
+
+        Runs during construction, before any provider can register, so
+        re-issuing pending tasklets only queues replicas in the backlog;
+        they are placed as providers (re)join.  The SubmitAcks that
+        re-admission would imply are not re-sent — the consumer already
+        got them from the previous incarnation, and the resubmit path
+        answers anyone who asks again.
+        """
+        snapshot = journal.replay()
+        for completion in snapshot.completions.values():
+            self._remember_completion(completion, journal_write=False)
+        recovered = 0
+        for entry in snapshot.pending:
+            state = self._admit_from_journal(entry)
+            if state is None:
+                continue
+            recovered += 1
+            # Envelopes are discarded: the registry is empty at this
+            # point, so every replica lands in the backlog.
+            self._issue(state, state.qoc.redundancy)
+        self.stats.tasklets_recovered = recovered
+        if self._metrics is not None and recovered:
+            self._metrics.tasklets_recovered.inc(recovered)
+        if self._events is not None:
+            self._events.record(
+                ev.JOURNAL_RECOVERED,
+                node=str(self.node_id),
+                ts=self.clock.now(),
+                pending=recovered,
+                completions=len(snapshot.completions),
+                malformed=snapshot.malformed,
+            )
+
+    def _admit_from_journal(self, entry: dict) -> _TaskletState | None:
+        try:
+            tasklet = Tasklet.from_dict(entry["tasklet"])
+        except (TaskletError, KeyError, TypeError, ValueError):
+            return None
+        if tasklet.qoc.local_only:
+            return None
+        consumer_id = NodeId(str(entry.get("consumer_id", "")))
+        key = f"{consumer_id}/{tasklet.tasklet_id}"
+        if key in self._tasklets or key in self._completed:
+            return None
+        state = self._build_state(
+            consumer_id, tasklet, entry["tasklet"], self.clock.now()
+        )
+        state.memo_key = memo_key_of(
+            state.program_fingerprint,
+            state.entry,
+            state.args,
+            state.seed,
+            state.fuel,
+        )
+        self._tasklets[key] = state
+        return state
 
     # -- execution lifecycle ------------------------------------------------------
 
@@ -507,14 +759,47 @@ class BrokerCore:
             queued_total = sum(
                 s.pending_replicas for s in self._tasklets.values()
             )
-            if queued_total + missing <= self.config.max_queued_replicas:
-                state.pending_replicas += missing
+            allowed = max(0, self.config.max_queued_replicas - queued_total)
+            to_queue = min(missing, allowed)
+            overflow = missing - to_queue
+            if to_queue > 0:
+                state.pending_replicas += to_queue
                 if not requeue:
-                    self.stats.replicas_queued += missing
+                    self.stats.replicas_queued += to_queue
                     if self._metrics is not None:
-                        self._metrics.replicas_queued.inc(missing)
+                        self._metrics.replicas_queued.inc(to_queue)
                 if state.key not in self._backlog:
                     self._backlog.append(state.key)
+            if overflow > 0:
+                # The backlog is full.  Dropping the replicas silently
+                # would strand the tasklet (nothing outstanding, nothing
+                # pending, no TaskletComplete — the consumer waits
+                # forever), so account for the drop and, if nothing else
+                # is carrying this tasklet, fail it now.
+                self.stats.replicas_overflowed += overflow
+                if self._metrics is not None:
+                    self._metrics.replicas_overflowed.inc(overflow)
+                if self._events is not None:
+                    self._raise_alert(
+                        ev.BACKLOG_OVERFLOW,
+                        node=str(state.consumer_id),
+                        ts=now,
+                        tasklet_id=str(state.tasklet_id),
+                        dropped=overflow,
+                        max_queued_replicas=self.config.max_queued_replicas,
+                    )
+                if not state.outstanding and state.pending_replicas == 0:
+                    out.extend(
+                        self._complete(
+                            state,
+                            ok=False,
+                            error=(
+                                f"scheduling backlog full: {overflow} replica(s) "
+                                "dropped (max_queued_replicas="
+                                f"{self.config.max_queued_replicas})"
+                            ),
+                        )
+                    )
         return out
 
     def _drain_backlog(self) -> list[Envelope]:
@@ -681,6 +966,11 @@ class BrokerCore:
     def _complete(
         self, state: _TaskletState, ok: bool, value=None, error: str | None = None
     ) -> list[Envelope]:
+        if state.done:
+            # Completion is single-shot: a caller further up the stack
+            # (e.g. _fold_record re-checking after a failed _issue)
+            # already finished this tasklet.
+            return []
         state.done = True
         if ok:
             self.stats.tasklets_completed += 1
@@ -735,7 +1025,7 @@ class BrokerCore:
             self._by_execution.pop(outstanding.execution_id, None)
             provider = self.registry.get(outstanding.provider_id)
             if provider is not None:
-                provider.outstanding = max(0, provider.outstanding - 1)
+                provider.release_slot()
             out.append(
                 self._send(
                     CancelExecution(execution_id=outstanding.execution_id),
@@ -744,6 +1034,21 @@ class BrokerCore:
             )
         state.outstanding.clear()
         state.pending_replicas = 0
+        cost = self.ledger.pop_cost_of(state.key)
+        self._remember_completion(
+            CompletionRecord(
+                key=state.key,
+                tasklet_id=str(state.tasklet_id),
+                consumer_id=str(state.consumer_id),
+                ok=ok,
+                value=value,
+                error=error,
+                attempts=state.issued,
+                cost=cost,
+                memo_key=state.memo_key,
+                completed_at=self.clock.now(),
+            )
+        )
         complete = self._send(
             TaskletComplete(
                 tasklet_id=state.tasklet_id,
@@ -751,7 +1056,7 @@ class BrokerCore:
                 value=value,
                 error=error,
                 attempts=state.issued,
-                cost=self.ledger.pop_cost_of(state.key),
+                cost=cost,
                 executions=[
                     record.to_dict() for record in state.collector.all_records
                 ],
@@ -771,6 +1076,7 @@ class BrokerCore:
         PROVIDER_LOST record and let the vote logic re-issue."""
         out: list[Envelope] = []
         now = self.clock.now()
+        provider = self.registry.get(provider_id)
         for state in list(self._tasklets.values()):
             lost = [
                 outstanding
@@ -784,6 +1090,12 @@ class BrokerCore:
                     self.health.watchdog.on_lost(str(outstanding.execution_id))
                 self.stats.executions_lost += 1
                 self.stats.executions_failed += 1
+                if provider is not None:
+                    # Same accounting path as results and timeouts: frees
+                    # the slot (no phantom ``outstanding`` load if the
+                    # provider re-registers later) and grades the loss
+                    # into ``reliability``.
+                    provider.record_result(ok=False, instructions=0, duration=0.0)
                 record = ExecutionRecord(
                     execution_id=outstanding.execution_id,
                     tasklet_id=state.tasklet_id,
@@ -828,8 +1140,8 @@ class BrokerCore:
                 self.stats.executions_failed += 1
                 provider = self.registry.get(outstanding.provider_id)
                 if provider is not None:
-                    provider.outstanding = max(0, provider.outstanding - 1)
-                    provider.failed += 1
+                    # Unified accounting (see _fail_provider_executions).
+                    provider.record_result(ok=False, instructions=0, duration=0.0)
                 out.append(
                     self._send(
                         CancelExecution(execution_id=outstanding.execution_id),

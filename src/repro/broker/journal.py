@@ -1,0 +1,358 @@
+"""Broker durability: the work journal and result memoization.
+
+The journal is the broker's crash-survivable memory, modeled on the
+minimal two-state (``pending``/``complete``) pull queue of the
+dashcam-processor task system: an append-only JSONL file holding one
+record per state transition —
+
+* ``admitted`` — a Tasklet passed admission; the record carries the full
+  wire-form Tasklet so a restarted broker can re-admit and re-issue it
+  without the consumer doing anything;
+* ``complete`` — the Tasklet reached a terminal outcome; the record
+  carries the voted value (or error), so an idempotent resubmit after a
+  restart is answered from the journal instead of re-executed.
+
+A Tasklet is *pending* iff its ``admitted`` record has no matching
+``complete`` record.  There is deliberately no ``in_progress`` state:
+replica placement is reconstructed by re-issuing, which is safe because
+Tasklets are side-effect-free and deterministic.
+
+That same determinism is what makes the journal double as a result
+cache: two submissions agreeing on (program fingerprint, entry, args,
+seed, fuel) must produce bit-identical values, so :class:`ResultCache`
+memoizes successful completions under :func:`memo_key_of` and the broker
+serves repeats with zero executions issued.
+
+Replay tolerates a truncated or corrupt trailing line — the signature of
+a crash mid-append — and, more generally, skips any undecodable line
+(JSONL lines are independent), counting them in
+:attr:`JournalSnapshot.malformed`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Journal record kinds — the complete state vocabulary.
+KIND_ADMITTED = "admitted"
+KIND_COMPLETE = "complete"
+
+
+def memo_key_of(
+    program_fingerprint: str,
+    entry: str,
+    args: list[Any],
+    seed: int,
+    fuel: int,
+) -> str | None:
+    """Identity of a Tasklet's *computation* (not its submission).
+
+    Everything that determines the result of a deterministic Tasklet:
+    the program content hash plus entry point, arguments, PRNG seed, and
+    fuel (fuel is included because exhaustion depends on it).  Returns
+    ``None`` when no fingerprint was stamped or the arguments do not
+    canonicalise — such submissions are simply never memoized.
+    """
+    if not program_fingerprint:
+        return None
+    try:
+        canonical = json.dumps(
+            [entry, args, seed, fuel], sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError):
+        return None
+    digest = hashlib.sha256(
+        (program_fingerprint + "\x00" + canonical).encode("utf-8")
+    )
+    return digest.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """Terminal outcome of one Tasklet, as journalled.
+
+    Per-execution records are deliberately not persisted (they can dwarf
+    the result); a re-delivered or memoized completion therefore carries
+    ``executions: []`` on the wire.
+    """
+
+    key: str  # broker-internal identity: consumer_id/tasklet_id
+    tasklet_id: str
+    consumer_id: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    cost: float = 0.0
+    memo_key: str | None = None
+    completed_at: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "tasklet_id": self.tasklet_id,
+            "consumer_id": self.consumer_id,
+            "ok": self.ok,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "cost": self.cost,
+            "memo_key": self.memo_key,
+            "completed_at": self.completed_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CompletionRecord":
+        return cls(
+            key=str(data["key"]),
+            tasklet_id=str(data["tasklet_id"]),
+            consumer_id=str(data.get("consumer_id", "")),
+            ok=bool(data["ok"]),
+            value=data.get("value"),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 0)),
+            cost=float(data.get("cost", 0.0)),
+            memo_key=data.get("memo_key"),
+            completed_at=float(data.get("completed_at", 0.0)),
+        )
+
+
+@dataclass
+class JournalSnapshot:
+    """Result of replaying one journal file."""
+
+    #: ``admitted`` records (raw dicts) with no matching completion, in
+    #: admission order — the work a restarted broker must re-issue.
+    pending: list[dict] = field(default_factory=list)
+    #: Terminal outcomes by Tasklet key, most recent write winning.
+    completions: "OrderedDict[str, CompletionRecord]" = field(
+        default_factory=OrderedDict
+    )
+    admitted: int = 0
+    completed: int = 0
+    #: Undecodable or schema-less lines skipped (crash-truncated tail,
+    #: torn writes); never fatal.
+    malformed: int = 0
+
+    @property
+    def pending_keys(self) -> list[str]:
+        return [str(entry.get("key", "")) for entry in self.pending]
+
+
+def replay_journal(path: str) -> JournalSnapshot:
+    """Read one journal file into a :class:`JournalSnapshot`.
+
+    Missing file ⇒ empty snapshot (a fresh broker with a configured
+    journal path that has never written).
+    """
+    snapshot = JournalSnapshot()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return snapshot
+    admitted_by_key: "OrderedDict[str, dict]" = OrderedDict()
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                snapshot.malformed += 1
+                continue
+            if not isinstance(record, dict):
+                snapshot.malformed += 1
+                continue
+            kind = record.get("kind")
+            if kind == KIND_ADMITTED:
+                key = record.get("key")
+                if not isinstance(key, str) or "tasklet" not in record:
+                    snapshot.malformed += 1
+                    continue
+                snapshot.admitted += 1
+                admitted_by_key[key] = record
+            elif kind == KIND_COMPLETE:
+                try:
+                    completion = CompletionRecord.from_dict(record)
+                except (KeyError, TypeError, ValueError):
+                    snapshot.malformed += 1
+                    continue
+                snapshot.completed += 1
+                snapshot.completions[completion.key] = completion
+                snapshot.completions.move_to_end(completion.key)
+            else:
+                snapshot.malformed += 1
+    snapshot.pending = [
+        record
+        for key, record in admitted_by_key.items()
+        if key not in snapshot.completions
+    ]
+    return snapshot
+
+
+class WorkJournal:
+    """Append-only JSONL journal of admitted and completed Tasklets.
+
+    Writes are serialised by an internal lock (the TCP broker drives the
+    core from several threads) and flushed per record so a crash loses at
+    most the line being written — which replay tolerates.  ``fsync=True``
+    additionally syncs every append for machines where the page cache
+    must not be trusted; off by default because it dominates admission
+    latency.
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+
+    # -- writes ---------------------------------------------------------------
+
+    def record_admitted(
+        self, key: str, consumer_id: str, tasklet: dict, ts: float
+    ) -> None:
+        """Journal one admission (the full wire-form Tasklet)."""
+        self._write(
+            {
+                "kind": KIND_ADMITTED,
+                "key": key,
+                "consumer_id": consumer_id,
+                "ts": ts,
+                "tasklet": tasklet,
+            }
+        )
+
+    def record_complete(self, completion: CompletionRecord) -> None:
+        """Journal one terminal outcome."""
+        record = completion.to_dict()
+        record["kind"] = KIND_COMPLETE
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._file.closed:
+                return  # shutdown race: losing a tail record is recoverable
+            self._file.write(line + "\n")
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+
+    # -- reads ----------------------------------------------------------------
+
+    def replay(self) -> JournalSnapshot:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+        return replay_journal(self.path)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self, keep_completions: int | None = None) -> JournalSnapshot:
+        """Rewrite the journal keeping only live state.
+
+        Drops ``admitted`` records that already completed (the program
+        payloads dominate journal size) and, when ``keep_completions``
+        is given, all but the most recent N completions.  The rewrite is
+        atomic (temp file + rename); returns the snapshot it kept.
+        """
+        snapshot = self.replay()
+        completions = list(snapshot.completions.values())
+        if keep_completions is not None and keep_completions >= 0:
+            completions = completions[-keep_completions:]
+        temp_path = self.path + ".compact"
+        with self._lock:
+            with open(temp_path, "w", encoding="utf-8") as temp:
+                for entry in snapshot.pending:
+                    temp.write(
+                        json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                        + "\n"
+                    )
+                for completion in completions:
+                    record = completion.to_dict()
+                    record["kind"] = KIND_COMPLETE
+                    temp.write(
+                        json.dumps(record, sort_keys=True, separators=(",", ":"))
+                        + "\n"
+                    )
+                temp.flush()
+                os.fsync(temp.fileno())
+            if not self._file.closed:
+                self._file.close()
+            os.replace(temp_path, self.path)
+            self._file = open(self.path, "a", encoding="utf-8")
+        kept = JournalSnapshot(
+            pending=snapshot.pending,
+            completions=OrderedDict(
+                (completion.key, completion) for completion in completions
+            ),
+            admitted=len(snapshot.pending),
+            completed=len(completions),
+            malformed=0,
+        )
+        return kept
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+class ResultCache:
+    """LRU memoization of *successful* completions by computation identity.
+
+    Only ``ok`` outcomes are cached: a success of a deterministic,
+    side-effect-free Tasklet is a property of its inputs, while a failure
+    is usually a property of the moment (provider churn, exhausted pool)
+    and must stay retryable.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CompletionRecord]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> CompletionRecord | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, completion: CompletionRecord) -> None:
+        if not completion.ok:
+            return
+        with self._lock:
+            self._entries[key] = completion
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -61,7 +61,13 @@ class ProviderRecord:
     def record_result(
         self, ok: bool, instructions: int, duration: float, learn_speed: bool = True
     ) -> None:
-        """Fold one terminal execution into the learned statistics."""
+        """Fold one terminal execution into the learned statistics.
+
+        This is the *single* accounting path for terminal outcomes —
+        results, rejections, timeouts, and provider losses all land here,
+        so the slot is always released and ``reliability`` sees every
+        failure mode with the same weight.
+        """
         self.outstanding = max(0, self.outstanding - 1)
         if ok:
             self.completed += 1
@@ -69,6 +75,11 @@ class ProviderRecord:
                 self.observed_speed.add(instructions / duration)
         else:
             self.failed += 1
+
+    def release_slot(self) -> None:
+        """Free one slot without grading the provider (cancelled replica:
+        the vote already decided, so the outcome says nothing about it)."""
+        self.outstanding = max(0, self.outstanding - 1)
 
 
 @dataclass(frozen=True)
@@ -155,12 +166,20 @@ class ProviderRegistry:
     # -- liveness ------------------------------------------------------------
 
     def heartbeat(self, provider_id: NodeId, now: float) -> bool:
-        """Record a heartbeat; returns False for unknown providers."""
+        """Record a heartbeat; returns False for unknown or dead providers.
+
+        A provider declared dead must re-register rather than be revived
+        by a bare heartbeat: its outstanding executions were already
+        failed over when it was declared dead, so silently resurrecting
+        the record would leave phantom ``outstanding`` load (and stale
+        learned state) attached to a node the broker wrote off.  False
+        makes the broker answer with ``REASON_UNKNOWN_PROVIDER``, which
+        both transports treat as "register again".
+        """
         record = self._providers.get(provider_id)
-        if record is None:
+        if record is None or not record.alive:
             return False
         record.last_heartbeat = now
-        record.alive = True
         return True
 
     def detect_failures(self, now: float) -> list[NodeId]:

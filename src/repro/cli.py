@@ -8,6 +8,7 @@
     python -m repro metrics  --format prom         # telemetered sim run
     python -m repro metrics  --from-url http://127.0.0.1:9150   # live scrape
     python -m repro top      http://127.0.0.1:9150 # live cluster view
+    python -m repro journal  work_journal.jsonl    # inspect broker durability
     python -m repro report F3 F4                   # regenerate experiments
 
 ``compile``/``disasm``/``run`` accept either Tasklet source (``.tl``, or
@@ -313,6 +314,60 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Inspect (and optionally compact) a broker work journal."""
+    from .broker.journal import WorkJournal, replay_journal
+
+    if not Path(args.file).exists():
+        print(f"error: no journal at {args.file}", file=sys.stderr)
+        return 2
+    if args.compact:
+        journal = WorkJournal(args.file)
+        try:
+            snapshot = journal.compact()
+        finally:
+            journal.close()
+    else:
+        snapshot = replay_journal(args.file)
+
+    if args.format == "json":
+        document = {
+            "path": args.file,
+            "admitted": snapshot.admitted,
+            "completed": snapshot.completed,
+            "malformed": snapshot.malformed,
+            "pending": snapshot.pending,
+            "completions": [
+                completion.to_dict()
+                for completion in snapshot.completions.values()
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    verb = "compacted to" if args.compact else "holds"
+    print(f"journal    : {args.file}")
+    print(
+        f"records    : {verb} {snapshot.admitted} admitted, "
+        f"{snapshot.completed} complete"
+        + (f", {snapshot.malformed} malformed skipped" if snapshot.malformed else "")
+    )
+    print(f"pending    : {len(snapshot.pending)} tasklet(s)")
+    if args.pending:
+        for entry in snapshot.pending:
+            tasklet = entry.get("tasklet", {})
+            print(
+                f"  {entry.get('key', '?'):<28} entry={tasklet.get('entry', '?')} "
+                f"args={tasklet.get('args', '?')} ts={entry.get('ts', 0):.3f}"
+            )
+    ok_count = sum(1 for c in snapshot.completions.values() if c.ok)
+    print(
+        f"completions: {len(snapshot.completions)} retained "
+        f"({ok_count} ok, {len(snapshot.completions) - ok_count} failed)"
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .bench.report import generate
 
@@ -439,6 +494,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --once: table (human) or json (machine)",
     )
     top_cmd.set_defaults(handler=_cmd_top)
+
+    journal_cmd = commands.add_parser(
+        "journal",
+        help="inspect a broker work journal",
+        epilog=(
+            "Replays the append-only JSONL journal a TcpBroker writes when "
+            "started with journal_path=... and summarises its state: pending "
+            "(admitted, not completed) tasklets and retained completions. "
+            "--compact rewrites the file keeping only live records."
+        ),
+    )
+    journal_cmd.add_argument("file", help="journal path (JSONL)")
+    journal_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table"
+    )
+    journal_cmd.add_argument(
+        "--pending", action="store_true", help="list pending tasklets"
+    )
+    journal_cmd.add_argument(
+        "--compact",
+        action="store_true",
+        help="rewrite the journal, dropping admitted records that completed",
+    )
+    journal_cmd.set_defaults(handler=_cmd_journal)
 
     report_cmd = commands.add_parser(
         "report", help="run experiments and rewrite EXPERIMENTS.md"

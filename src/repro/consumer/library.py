@@ -82,17 +82,26 @@ class TaskletLibrary:
         qoc: QoC | None = None,
         fuel: int = DEFAULT_FUEL,
         seed: int | None = None,
+        tasklet_id: str | None = None,
     ) -> TaskletFuture:
         """Issue one Tasklet; returns its future.
 
         ``program`` may be source text (compiled and cached) or an
         already-compiled program.  ``seed`` defaults to a deterministic
         per-Tasklet derivation from the library's ``base_seed``.
+
+        ``tasklet_id`` defaults to a fresh id.  Passing an explicit id
+        makes resubmission idempotent: after a broker or connection
+        failure (``BrokerUnreachable``), submitting again with the same
+        id re-attaches to the in-flight attempt or re-delivers the
+        journalled result — it never runs the work twice.  The derived
+        seed depends only on the id, so a resubmit is bit-identical.
         """
         if isinstance(program, str):
             program = self.compile(program)
         qoc = qoc or QoC()
-        tasklet_id = self.ids.next_tasklet()
+        if tasklet_id is None:
+            tasklet_id = self.ids.next_tasklet()
         if seed is None:
             seed = derive_seed(self.base_seed, tasklet_id)
         tasklet = Tasklet(

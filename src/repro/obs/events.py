@@ -53,11 +53,22 @@ STRAGGLER_ALERT = "straggler_alert"  # execution exceeded expected runtime
 FLAPPING_ALERT = "flapping_alert"  # provider flapped repeatedly in a window
 SLO_BREACH = "slo_breach"  # tasklet finished past its QoC deadline
 TASKLET_FAILED = "tasklet_failed"  # tasklet completed without a result
+JOURNAL_RECOVERED = "journal_recovered"  # broker replayed its work journal
+MEMO_HIT = "memo_hit"  # submission served from the result cache
+RESULT_REDELIVERED = "result_redelivered"  # journalled outcome re-sent on resubmit
+BACKLOG_OVERFLOW = "backlog_overflow"  # replicas dropped: scheduling backlog full
 
 #: Kinds that represent actionable operator alerts (``repro top`` surfaces
 #: these first).
 ALERT_KINDS = frozenset(
-    {STRAGGLER_ALERT, FLAPPING_ALERT, SLO_BREACH, TASKLET_FAILED, DISCONNECT}
+    {
+        STRAGGLER_ALERT,
+        FLAPPING_ALERT,
+        SLO_BREACH,
+        TASKLET_FAILED,
+        DISCONNECT,
+        BACKLOG_OVERFLOW,
+    }
 )
 
 

@@ -122,6 +122,28 @@ class BrokerMetrics:
             "Observed gap between consecutive heartbeats of one provider",
             buckets=RTT_BUCKETS + (2.5, 5.0, 10.0),
         )
+        self.memo_cache = registry.counter(
+            "repro_broker_memo_cache_total",
+            "Result-memoization lookups at admission, by result",
+            labelnames=("result",),
+        )
+        self.journal_records = registry.counter(
+            "repro_broker_journal_records_total",
+            "Work-journal records appended, by kind",
+            labelnames=("kind",),
+        )
+        self.tasklets_recovered = registry.counter(
+            "repro_broker_tasklets_recovered_total",
+            "Pending tasklets re-admitted from the work journal at startup",
+        )
+        self.completions_redelivered = registry.counter(
+            "repro_broker_completions_redelivered_total",
+            "Journalled completions re-delivered on idempotent resubmit",
+        )
+        self.replicas_overflowed = registry.counter(
+            "repro_broker_replicas_overflowed_total",
+            "Replicas dropped because the scheduling backlog was full",
+        )
 
 
 class ProviderMetrics:

@@ -43,6 +43,7 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 
 from ..broker.core import BrokerConfig, BrokerCore
+from ..broker.journal import WorkJournal
 from ..broker.scheduling import make_strategy
 from ..common.clock import WallClock
 from ..common.errors import ConnectionClosed, TransportError
@@ -161,6 +162,7 @@ class TcpBroker:
         telemetry: Telemetry | None = None,
         obs_port: int | None = None,
         obs_host: str = "127.0.0.1",
+        journal_path: str | None = None,
     ):
         self.config = config or BrokerConfig()
         if obs_port is not None and telemetry is None:
@@ -171,6 +173,11 @@ class TcpBroker:
         self._transport_metrics = (
             TransportMetrics(telemetry.registry) if telemetry else None
         )
+        #: Durable work journal (None = volatile broker).  Constructing the
+        #: core replays it: pending tasklets are re-admitted (queued until
+        #: providers re-register) and completed outcomes become
+        #: re-deliverable to reconnecting consumers that resubmit.
+        self.journal = WorkJournal(journal_path) if journal_path else None
         self.core = BrokerCore(
             clock=WallClock(),
             strategy=make_strategy(strategy),
@@ -180,6 +187,7 @@ class TcpBroker:
             # provider could still answer the old one).
             id_generator=IdGenerator(namespace=uuid.uuid4().hex[:8]),
             telemetry=telemetry,
+            journal=self.journal,
         )
         self._core_lock = threading.Lock()
         self._connections: dict[NodeId, _Connection] = {}
@@ -240,6 +248,14 @@ class TcpBroker:
         if self.obs is not None:
             self.obs.stop()
         try:
+            # shutdown() wakes the thread blocked in accept() — close()
+            # alone does not on Linux, which would leave the listening
+            # socket alive inside the stuck syscall and the port bound,
+            # so a restarted broker could never rebind it.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # not listening / platform refuses shutdown on listeners
+        try:
             self._listener.close()
         except OSError:
             pass
@@ -255,6 +271,8 @@ class TcpBroker:
             self._transport_metrics.connections.dec(len(connections))
         for thread in self._threads:
             thread.join(timeout=0.1)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "TcpBroker":
         return self.start()
@@ -788,6 +806,7 @@ class TcpConsumer:
         self.on_disconnect = on_disconnect
         self._broker = (broker_host, broker_port)
         self._connection: _Connection | None = None
+        self._reader: threading.Thread | None = None
         self._running = threading.Event()
         self._disconnected = threading.Event()
 
@@ -796,10 +815,41 @@ class TcpConsumer:
             *self._broker, metrics=self._transport_metrics
         )
         self._running.set()
-        threading.Thread(
-            target=self._reader_loop, name=f"{self.node_id}-reader", daemon=True
-        ).start()
+        self._start_reader(self._connection)
         return self
+
+    def reconnect(self) -> "TcpConsumer":
+        """Re-establish a lost broker connection on the same node id.
+
+        Pending futures were already failed with
+        :class:`~repro.common.errors.BrokerUnreachable` when the link
+        died; after reconnecting, resubmitting with the *same* tasklet
+        ids is idempotent — the broker (re-)acks in-flight work, and a
+        journal-backed broker re-delivers completed outcomes instead of
+        re-executing them.
+        """
+        old_connection = self._connection
+        old_reader = self._reader
+        if old_connection is not None:
+            old_connection.close()
+        if old_reader is not None and old_reader is not threading.current_thread():
+            old_reader.join(timeout=5.0)
+        self._connection = _connect(
+            *self._broker, metrics=self._transport_metrics
+        )
+        self._disconnected.clear()
+        self._running.set()
+        self._start_reader(self._connection)
+        return self
+
+    def _start_reader(self, connection: _Connection) -> None:
+        self._reader = threading.Thread(
+            target=self._reader_loop,
+            args=(connection,),
+            name=f"{self.node_id}-reader",
+            daemon=True,
+        )
+        self._reader.start()
 
     def stop(self) -> None:
         was_running = self._running.is_set()
@@ -844,9 +894,7 @@ class TcpConsumer:
 
     # -- internals ----------------------------------------------------------
 
-    def _reader_loop(self) -> None:
-        connection = self._connection
-        assert connection is not None
+    def _reader_loop(self, connection: _Connection) -> None:
         while self._running.is_set():
             envelopes = connection.recv_envelopes()
             if envelopes is None:
@@ -858,6 +906,10 @@ class TcpConsumer:
                     continue  # unknown message type: forward compatibility
         if not self._running.is_set():
             return  # deliberate stop(); it fails pending futures itself
+        if self._connection is not connection:
+            # reconnect() superseded this link while we were blocked on
+            # the dying socket; the new reader owns the futures now.
+            return
         # Flag first, then snapshot-and-fail: a submit racing this either
         # sees the flag (fails itself) or registered in time to be caught
         # by the snapshot below. No window where a future can slip through.

@@ -156,15 +156,38 @@ class TestSubmission:
         replies = harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
         assert not bodies(replies, SubmitAck)[0].accepted
 
-    def test_duplicate_tasklet_id_rejected(self):
+    def test_identical_resubmit_is_idempotent(self):
+        # Same id, same payload: the resubmit (e.g. after a consumer
+        # reconnect) re-acks the in-flight attempt instead of rejecting
+        # or double-executing.
         harness = Harness()
         harness.add_provider()
         tasklet = Tasklet(
             tasklet_id=TaskletId("tl-dup"), program=PROGRAM, entry="main", args=[1]
         )
         harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+        issued = harness.broker.stats.executions_issued
         replies = harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
-        assert not bodies(replies, SubmitAck)[0].accepted
+        assert bodies(replies, SubmitAck)[0].accepted
+        assert bodies(replies, AssignExecution) == []
+        assert harness.broker.stats.executions_issued == issued
+        assert harness.broker.pending_tasklets == 1
+
+    def test_conflicting_duplicate_tasklet_id_rejected(self):
+        # Same id but a *different* computation is a real collision.
+        harness = Harness()
+        harness.add_provider()
+        tasklet = Tasklet(
+            tasklet_id=TaskletId("tl-dup"), program=PROGRAM, entry="main", args=[1]
+        )
+        harness.send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+        conflicting = Tasklet(
+            tasklet_id=TaskletId("tl-dup"), program=PROGRAM, entry="main", args=[2]
+        )
+        replies = harness.send(SubmitTasklet(tasklet=conflicting.to_dict()), src="c1")
+        ack = bodies(replies, SubmitAck)[0]
+        assert not ack.accepted
+        assert "duplicate" in ack.reason
 
 
 class TestCompletion:

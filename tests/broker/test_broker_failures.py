@@ -7,6 +7,7 @@ from repro.common.ids import NodeId, TaskletId
 from repro.core.qoc import QoC
 from repro.core.tasklet import Tasklet
 from repro.transport.message import (
+    REASON_UNKNOWN_PROVIDER,
     AssignExecution,
     CancelExecution,
     ExecutionResult,
@@ -325,6 +326,94 @@ class TestIssuePlacementAccounting:
         # Next maintenance tick drains the backlog via the honest path.
         replies = harness.tick_at(0.5)
         assert len(bodies(replies, AssignExecution)) == 1
+
+
+class TestBacklogOverflow:
+    def test_overflow_fails_tasklet_instead_of_stranding(self):
+        # Regression: an overflowing replica used to be dropped silently,
+        # leaving the tasklet with nothing outstanding, nothing queued and
+        # no TaskletComplete — the consumer hung forever.
+        harness = Harness(
+            config=BrokerConfig(execution_timeout=None, max_queued_replicas=0)
+        )
+        replies = harness.submit()  # no providers, zero backlog budget
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert "backlog full" in completions[0].error
+        assert harness.broker.stats.replicas_overflowed == 1
+        assert harness.broker.pending_tasklets == 0
+
+    def test_overflow_only_affects_new_work(self):
+        harness = Harness(
+            config=BrokerConfig(execution_timeout=None, max_queued_replicas=1)
+        )
+        first = harness.submit()
+        assert bodies(first, TaskletComplete) == []  # queued, still pending
+        second = harness.submit()
+        completions = bodies(second, TaskletComplete)
+        assert len(completions) == 1 and not completions[0].ok
+        assert harness.broker.pending_tasklets == 1  # the queued one lives on
+
+
+class TestSilenceDeathAccounting:
+    def test_dead_provider_slots_released_and_failures_recorded(self):
+        # Regression: silence-death failed the executions over but never
+        # released the provider's slots or graded its record, so a
+        # flapping provider came back with phantom outstanding load.
+        harness = Harness()
+        harness.register("p1", capacity=2)
+        harness.submit(qoc=QoC())  # max_attempts=1
+        harness.submit(qoc=QoC())
+        record = harness.broker.registry.get(NodeId("p1"))
+        assert record.outstanding == 2
+        replies = harness.tick_at(4.0)  # silent past the horizon
+        completions = bodies(replies, TaskletComplete)
+        assert len(completions) == 2 and not any(c.ok for c in completions)
+        assert record.outstanding == 0
+        assert record.failed == 2
+
+    def test_heartbeat_after_death_demands_reregistration(self):
+        harness = Harness()
+        harness.register("p1")
+        harness.tick_at(4.0)  # p1 declared dead
+        replies = harness.send(Heartbeat(provider_id="p1", free_slots=1), src="p1")
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and not acks[0].accepted
+        assert acks[0].reason == REASON_UNKNOWN_PROVIDER
+        assert harness.broker.registry.get(NodeId("p1")).alive is False
+        # Re-registration restores service with a clean slate.
+        replies = harness.register("p1")
+        acks = bodies(replies, RegisterAck)
+        assert len(acks) == 1 and acks[0].accepted
+        assert harness.broker.registry.get(NodeId("p1")).outstanding == 0
+
+
+class TestUnifiedFailureAccounting:
+    def test_timeout_and_loss_grade_the_provider_identically(self):
+        # Regression: a timed-out execution bumped ``failed`` by hand
+        # while a lost one touched nothing, so identical misbehaviour
+        # earned different reliability scores depending on how it was
+        # detected.  Both paths now flow through record_result.
+        harness = Harness()
+        harness.register("p1")
+        harness.register("p2")
+        harness.submit(qoc=QoC(max_attempts=1))
+        harness.submit(qoc=QoC(max_attempts=1))
+        p1 = harness.broker.registry.get(NodeId("p1"))
+        p2 = harness.broker.registry.get(NodeId("p2"))
+        assert p1.outstanding == 1 and p2.outstanding == 1
+        # p1 keeps heartbeating but never delivers (timeout path);
+        # p2 goes silent (loss path).
+        for t in (1.0, 2.0, 4.0, 6.0, 8.0, 10.0):
+            harness.clock.advance_to(t)
+            harness.send(Heartbeat(provider_id="p1", free_slots=0), src="p1")
+        harness.tick_at(10.5)
+        assert harness.broker.stats.executions_timed_out == 1
+        assert harness.broker.stats.executions_lost == 1
+        for record in (p1, p2):
+            assert record.outstanding == 0
+            assert record.failed == 1
+        assert p1.reliability == p2.reliability
 
 
 class TestBacklogUnderFailure:

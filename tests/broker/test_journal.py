@@ -1,0 +1,179 @@
+"""Unit tests for the broker work journal and result memoization."""
+
+import json
+
+import pytest
+
+from repro.broker.journal import (
+    CompletionRecord,
+    ResultCache,
+    WorkJournal,
+    memo_key_of,
+    replay_journal,
+)
+
+
+def make_completion(key="c1/tl-1", ok=True, value=42, memo_key=None):
+    return CompletionRecord(
+        key=key,
+        tasklet_id=key.split("/", 1)[1],
+        consumer_id=key.split("/", 1)[0],
+        ok=ok,
+        value=value,
+        error=None if ok else "boom",
+        attempts=1,
+        cost=0.5,
+        memo_key=memo_key,
+        completed_at=12.5,
+    )
+
+
+TASKLET = {"tasklet_id": "tl-1", "entry": "main", "args": [7]}
+
+
+class TestReplay:
+    def test_missing_file_is_empty_snapshot(self, tmp_path):
+        snapshot = replay_journal(str(tmp_path / "nope.jsonl"))
+        assert snapshot.pending == []
+        assert snapshot.completions == {}
+        assert snapshot.malformed == 0
+
+    def test_admitted_without_complete_is_pending(self, tmp_path):
+        journal = WorkJournal(str(tmp_path / "j.jsonl"))
+        journal.record_admitted("c1/tl-1", "c1", TASKLET, ts=1.0)
+        journal.record_admitted("c1/tl-2", "c1", dict(TASKLET, tasklet_id="tl-2"), ts=2.0)
+        journal.record_complete(make_completion("c1/tl-1"))
+        snapshot = journal.replay()
+        journal.close()
+        assert snapshot.pending_keys == ["c1/tl-2"]
+        assert snapshot.admitted == 2 and snapshot.completed == 1
+        completion = snapshot.completions["c1/tl-1"]
+        assert completion.ok and completion.value == 42
+
+    def test_completion_roundtrips_fields(self, tmp_path):
+        journal = WorkJournal(str(tmp_path / "j.jsonl"))
+        journal.record_complete(make_completion(ok=False, value=None, memo_key="m1"))
+        snapshot = journal.replay()
+        journal.close()
+        completion = snapshot.completions["c1/tl-1"]
+        assert completion.error == "boom"
+        assert completion.memo_key == "m1"
+        assert completion.cost == 0.5
+        assert completion.completed_at == 12.5
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = WorkJournal(str(path))
+        journal.record_admitted("c1/tl-1", "c1", TASKLET, ts=1.0)
+        journal.close()
+        # Simulate a crash mid-append: a half-written record at the tail.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"complete","key":"c1/tl-1","ok"')
+        snapshot = replay_journal(str(path))
+        assert snapshot.malformed == 1
+        assert snapshot.pending_keys == ["c1/tl-1"]  # the torn complete never landed
+
+    def test_corrupt_middle_line_does_not_poison_rest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            json.dumps({"kind": "admitted", "key": "c1/tl-1", "consumer_id": "c1",
+                        "ts": 1.0, "tasklet": TASKLET}),
+            "not json at all {{{",
+            json.dumps(dict(make_completion("c1/tl-1").to_dict(), kind="complete")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        snapshot = replay_journal(str(path))
+        assert snapshot.malformed == 1
+        assert snapshot.pending == []
+        assert "c1/tl-1" in snapshot.completions
+
+    def test_unknown_kind_counts_as_malformed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        assert replay_journal(str(path)).malformed == 1
+
+    def test_last_completion_wins(self, tmp_path):
+        journal = WorkJournal(str(tmp_path / "j.jsonl"))
+        journal.record_complete(make_completion(value=1))
+        journal.record_complete(make_completion(value=2))
+        snapshot = journal.replay()
+        journal.close()
+        assert snapshot.completions["c1/tl-1"].value == 2
+
+
+class TestCompact:
+    def test_compact_drops_completed_admissions(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = WorkJournal(str(path))
+        journal.record_admitted("c1/tl-1", "c1", TASKLET, ts=1.0)
+        journal.record_admitted("c1/tl-2", "c1", dict(TASKLET, tasklet_id="tl-2"), ts=2.0)
+        journal.record_complete(make_completion("c1/tl-1"))
+        kept = journal.compact()
+        assert kept.pending_keys == ["c1/tl-2"]
+        # The file shrank to exactly the live records and stays appendable.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        journal.record_complete(make_completion("c1/tl-2"))
+        snapshot = journal.replay()
+        journal.close()
+        assert snapshot.pending == []
+        assert set(snapshot.completions) == {"c1/tl-1", "c1/tl-2"}
+
+    def test_compact_can_trim_completions(self, tmp_path):
+        journal = WorkJournal(str(tmp_path / "j.jsonl"))
+        for index in range(5):
+            journal.record_complete(make_completion(f"c1/tl-{index}"))
+        kept = journal.compact(keep_completions=2)
+        journal.close()
+        assert set(kept.completions) == {"c1/tl-3", "c1/tl-4"}
+
+
+class TestMemoKey:
+    def test_stable_for_identical_inputs(self):
+        a = memo_key_of("fp", "main", [1, 2], 7, 1000)
+        b = memo_key_of("fp", "main", [1, 2], 7, 1000)
+        assert a == b is not None
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ("fp2", "main", [1, 2], 7, 1000),
+            ("fp", "other", [1, 2], 7, 1000),
+            ("fp", "main", [1, 3], 7, 1000),
+            ("fp", "main", [1, 2], 8, 1000),
+            ("fp", "main", [1, 2], 7, 999),
+        ],
+    )
+    def test_any_input_change_changes_key(self, other):
+        assert memo_key_of(*other) != memo_key_of("fp", "main", [1, 2], 7, 1000)
+
+    def test_no_fingerprint_means_not_memoizable(self):
+        assert memo_key_of("", "main", [1], 0, 1000) is None
+
+    def test_unserialisable_args_mean_not_memoizable(self):
+        assert memo_key_of("fp", "main", [object()], 0, 1000) is None
+
+
+class TestResultCache:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", make_completion())
+        assert cache.get("k").value == 42
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_failures_never_cached(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", make_completion(ok=False))
+        assert cache.get("k") is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", make_completion("c1/a"))
+        cache.put("b", make_completion("c1/b"))
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", make_completion("c1/c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert len(cache) == 2

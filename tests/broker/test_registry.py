@@ -71,12 +71,19 @@ class TestLiveness:
         assert registry.detect_failures(100.0) == [NodeId("p1")]
         assert registry.detect_failures(200.0) == []
 
-    def test_heartbeat_revives(self):
+    def test_heartbeat_does_not_revive_dead_provider(self):
+        # A dead provider's outstanding work was already failed over;
+        # a bare heartbeat must not resurrect the stale record (phantom
+        # ``outstanding`` load).  It has to re-register for a clean slate.
         registry = ProviderRegistry()
         register(registry, now=0.0)
         registry.detect_failures(100.0)
-        assert registry.heartbeat(NodeId("p1"), 101.0) is True
-        assert registry.get(NodeId("p1")).alive is True
+        assert registry.heartbeat(NodeId("p1"), 101.0) is False
+        assert registry.get(NodeId("p1")).alive is False
+        # Re-registration (what the broker's REASON_UNKNOWN_PROVIDER
+        # rejection triggers) brings it back with fresh state.
+        record = register(registry, now=102.0)
+        assert record.alive is True and record.outstanding == 0
 
     def test_dead_providers_excluded_from_views(self):
         registry = ProviderRegistry()

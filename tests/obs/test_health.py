@@ -245,6 +245,9 @@ class StragglerHarness:
             entry="main",
             args=[10],
             qoc=QoC(),
+            # Distinct seeds keep repeated submissions out of the result
+            # cache (this test needs every round to actually execute).
+            seed=self._counter,
         )
         replies = self.send(
             SubmitTasklet(tasklet=tasklet.to_dict()), src="c1"

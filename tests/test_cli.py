@@ -274,6 +274,53 @@ class TestObsCli:
         assert "cannot reach" in capsys.readouterr().err
 
 
+@pytest.fixture
+def journal_file(tmp_path):
+    """A journal with one pending and one completed tasklet."""
+    from repro.broker.journal import CompletionRecord, WorkJournal
+
+    path = tmp_path / "journal.jsonl"
+    journal = WorkJournal(str(path))
+    tasklet = {"tasklet_id": "tl-1", "entry": "main", "args": [7]}
+    journal.record_admitted("c1/tl-1", "c1", tasklet, ts=1.0)
+    journal.record_admitted(
+        "c1/tl-2", "c1", dict(tasklet, tasklet_id="tl-2"), ts=2.0
+    )
+    journal.record_complete(
+        CompletionRecord(
+            key="c1/tl-1", tasklet_id="tl-1", consumer_id="c1", ok=True, value=8
+        )
+    )
+    journal.close()
+    return str(path)
+
+
+class TestJournalCli:
+    def test_table_summary(self, journal_file, capsys):
+        assert main(["journal", journal_file, "--pending"]) == 0
+        out = capsys.readouterr().out
+        assert "2 admitted, 1 complete" in out
+        assert "pending    : 1 tasklet(s)" in out
+        assert "c1/tl-2" in out
+        assert "1 retained (1 ok, 0 failed)" in out
+
+    def test_json_summary(self, journal_file, capsys):
+        assert main(["journal", journal_file, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["admitted"] == 2 and document["completed"] == 1
+        assert [entry["key"] for entry in document["pending"]] == ["c1/tl-2"]
+        assert document["completions"][0]["value"] == 8
+
+    def test_compact_rewrites_file(self, journal_file, capsys):
+        assert main(["journal", journal_file, "--compact"]) == 0
+        assert "compacted to" in capsys.readouterr().out
+        assert len(open(journal_file).read().strip().splitlines()) == 2
+
+    def test_missing_journal_errors(self, tmp_path, capsys):
+        assert main(["journal", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no journal" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_single_experiment(self, tmp_path, capsys):
         out = str(tmp_path / "EXP.md")
