@@ -1,0 +1,70 @@
+"""Microbenchmark guarding the cost of work-journal durability modes.
+
+The journal's default mode buffers appends through the OS page cache; the
+opt-in ``fsync=True`` mode forces every record to stable storage before
+returning.  Two claims are kept honest:
+
+1. *The default path does not pay for the feature.*  ``fsync=False``
+   appends must stay cheap in absolute terms — a tripwire against the
+   durability knob leaking synchronous work into the common case.
+2. *The durability cost is opt-in.*  ``fsync=True`` is expected to be
+   substantially slower (that is the point — it buys crash-consistency
+   on power loss), and we assert the *default* mode is at least as fast
+   as the synced mode; if the two converge from the wrong side, the
+   default path regressed.
+"""
+
+import time
+
+from repro.broker.journal import CompletionRecord, WorkJournal
+
+TASKLET = {"tasklet_id": "tl", "entry": "main", "args": [7]}
+RECORDS = 400
+
+
+def append_records(journal, count=RECORDS):
+    for n in range(count):
+        key = f"c1/tl-{n}"
+        journal.record_admitted(key, "c1", TASKLET, ts=float(n))
+        journal.record_complete(
+            CompletionRecord(
+                key=key, tasklet_id=f"tl-{n}", consumer_id="c1",
+                ok=True, value=n, attempts=1, completed_at=float(n),
+            )
+        )
+
+
+def timed_run(path, fsync):
+    journal = WorkJournal(str(path), fsync=fsync)
+    start = time.perf_counter()
+    append_records(journal)
+    elapsed = time.perf_counter() - start
+    journal.close()
+    return elapsed
+
+
+def test_default_mode_append_throughput(tmp_path):
+    """Buffered appends must sustain a floor rate (absolute tripwire)."""
+    best = min(
+        timed_run(tmp_path / f"buffered-{n}.jsonl", fsync=False)
+        for n in range(3)
+    )
+    rate = 2 * RECORDS / best
+    assert rate > 5_000, f"buffered journal appends at {rate:.0f} rec/s"
+
+
+def test_fsync_cost_is_opt_in(tmp_path):
+    """The default mode must never be slower than the synced mode."""
+    buffered = best_synced = float("inf")
+    for n in range(3):  # interleave to average out drift
+        buffered = min(
+            buffered, timed_run(tmp_path / f"b-{n}.jsonl", fsync=False)
+        )
+        best_synced = min(
+            best_synced, timed_run(tmp_path / f"s-{n}.jsonl", fsync=True)
+        )
+    assert buffered <= best_synced * 1.05, (
+        f"default journal mode ({buffered * 1e3:.1f}ms) slower than "
+        f"fsync mode ({best_synced * 1e3:.1f}ms): the opt-in durability "
+        f"cost leaked into the default path"
+    )

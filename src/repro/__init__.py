@@ -25,10 +25,11 @@ For a real deployment on sockets, swap the simulator for
 — the middleware cores are identical.
 """
 
-from .broker import BrokerConfig, BrokerCore, make_strategy
+from .broker import BrokerConfig, BrokerCore, FederationConfig, make_strategy
 from .common.errors import (
     BrokerUnreachable,
     ExecutionFailed,
+    FederationExhausted,
     QoCUnsatisfiable,
     TaskletError,
     TimeoutExpired,
@@ -46,9 +47,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BrokerConfig",
     "BrokerCore",
+    "FederationConfig",
     "make_strategy",
     "BrokerUnreachable",
     "ExecutionFailed",
+    "FederationExhausted",
     "QoCUnsatisfiable",
     "TaskletError",
     "TimeoutExpired",

@@ -1,6 +1,7 @@
 """Broker: provider registry, scheduling strategies, and the broker core."""
 
 from .core import BrokerConfig, BrokerCore, BrokerStats
+from .federation import FederationConfig, FederationCore, PeerState
 from .journal import (
     CompletionRecord,
     JournalSnapshot,
@@ -27,6 +28,9 @@ __all__ = [
     "BrokerCore",
     "BrokerStats",
     "CompletionRecord",
+    "FederationConfig",
+    "FederationCore",
+    "PeerState",
     "JournalSnapshot",
     "ProviderRecord",
     "ProviderRegistry",

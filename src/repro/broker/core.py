@@ -42,10 +42,22 @@ from ..obs.health import (
     StragglerWatchdog,
     overall_status,
 )
-from ..obs.telemetry import BrokerMetrics, Telemetry
+from ..obs.telemetry import BrokerMetrics, FederationMetrics, Telemetry
 from ..obs.trace import TraceContext
 from .accounting import CostLedger
-from .journal import CompletionRecord, ResultCache, WorkJournal, memo_key_of
+from .federation import (
+    FederationConfig,
+    FederationCore,
+    PEER_CAME_UP,
+    PEER_EPOCH_CHANGED,
+)
+from .journal import (
+    CompletionRecord,
+    ResultCache,
+    WorkJournal,
+    memo_key_of,
+    replay_journal,
+)
 from .registry import ProviderRegistry
 from .scheduling import QoCStrategy, Strategy
 from ..transport.message import (
@@ -55,9 +67,14 @@ from ..transport.message import (
     Envelope,
     ExecutionRejected,
     ExecutionResult,
+    ForwardAck,
+    ForwardComplete,
+    ForwardTasklet,
+    GossipDigest,
     Heartbeat,
     HeartbeatAck,
     MessageBody,
+    PeerHello,
     REASON_UNKNOWN_PROVIDER,
     RegisterAck,
     RegisterProvider,
@@ -127,6 +144,21 @@ class BrokerStats:
     completions_redelivered: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    #: Automatic in-place journal rewrites (threshold-triggered).
+    journal_compactions: int = 0
+    # -- federation ---------------------------------------------------------
+    #: Submissions placed on a peer broker instead of the local pool.
+    tasklets_forwarded: int = 0
+    #: Forwards admitted from peer brokers (executed here on their behalf).
+    forwards_received: int = 0
+    #: Forwarded tasklets whose terminal outcome came back from a peer.
+    forwards_completed: int = 0
+    #: Forwarded tasklets taken back (peer died/restarted/rejected).
+    forwards_reclaimed: int = 0
+    #: Pending tasklets adopted from a dead peer's journal.
+    tasklets_adopted: int = 0
+    #: Completions adopted from a dead peer's journal.
+    completions_adopted: int = 0
 
 
 @dataclass
@@ -167,6 +199,20 @@ class _TaskletState:
     done: bool = False
     #: Computation identity for result memoization (None = not memoizable).
     memo_key: str | None = None
+    #: Federation: broker this tasklet was forwarded *from* (we execute on
+    #: its behalf and return a ForwardComplete there instead of talking to
+    #: the consumer)...
+    origin_broker: NodeId | None = None
+    #: ...or the peer it was forwarded *to* (nothing runs locally until
+    #: the forward completes or is reclaimed).
+    forwarded_to: NodeId | None = None
+    forwarded_at: float = 0.0
+    forward_acked: bool = False
+    forward_last_sent: float = 0.0
+    #: The consumer resubmitted this forwarded-in tasklet directly (it
+    #: failed over to this broker while the work was in flight), so the
+    #: outcome must be delivered to the consumer as well as the origin.
+    direct_consumer: bool = False
     #: Telemetry contexts: the ``broker.tasklet`` span and the consumer's
     #: root context it parents on (both None when telemetry is disabled).
     trace_ctx: TraceContext | None = None
@@ -193,6 +239,7 @@ class BrokerCore:
         id_generator: IdGenerator | None = None,
         telemetry: Telemetry | None = None,
         journal: WorkJournal | None = None,
+        federation: FederationConfig | None = None,
     ):
         self.node_id = node_id
         self.clock = clock
@@ -240,6 +287,17 @@ class BrokerCore:
             if self.config.memoize_results and self.config.result_cache_size > 0
             else None
         )
+        #: Federation peer table (None = standalone broker, zero overhead).
+        self.federation: FederationCore | None = (
+            FederationCore(str(node_id), federation)
+            if federation is not None
+            else None
+        )
+        self._fed_metrics = (
+            FederationMetrics(telemetry.registry)
+            if telemetry and self.federation is not None
+            else None
+        )
         if journal is not None:
             self._recover(journal)
 
@@ -260,6 +318,16 @@ class BrokerCore:
             out = self._on_result(body)
         elif isinstance(body, ExecutionRejected):
             out = self._on_rejected(body)
+        elif self.federation is not None and isinstance(body, PeerHello):
+            out = self._on_peer_hello(body)
+        elif self.federation is not None and isinstance(body, GossipDigest):
+            out = self._on_gossip(body)
+        elif self.federation is not None and isinstance(body, ForwardTasklet):
+            out = self._on_forward(body)
+        elif self.federation is not None and isinstance(body, ForwardAck):
+            out = self._on_forward_ack(body)
+        elif self.federation is not None and isinstance(body, ForwardComplete):
+            out = self._on_forward_complete(body)
         else:
             # Unknown-but-registered types addressed to us are ignored
             # rather than fatal: forward compatibility with newer peers.
@@ -284,6 +352,8 @@ class BrokerCore:
                 )
             out.extend(self._fail_provider_executions(provider_id))
         out.extend(self._expire_executions(now))
+        if self.federation is not None:
+            out.extend(self._federation_tick(now))
         out.extend(self._drain_backlog())
         if self._metrics is not None:
             # Gauges are sampled once per tick, not per message, so the
@@ -435,6 +505,13 @@ class BrokerCore:
                 # Idempotent resubmit of in-flight work (e.g. after a
                 # consumer reconnect): re-ack, keep the running attempt,
                 # and it will complete to the resubmitting consumer.
+                if existing.origin_broker is not None:
+                    # The work arrived here via a peer forward, but the
+                    # consumer is now talking to this broker directly
+                    # (failover after the origin died): deliver the
+                    # outcome to both — the origin gets its
+                    # ForwardComplete for bookkeeping if it is alive.
+                    existing.direct_consumer = True
                 ack = SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True)
                 return [self._send(ack, src)]
             ack = SubmitAck(
@@ -474,8 +551,26 @@ class BrokerCore:
             if self._metrics is not None:
                 self._metrics.journal_records.labels(kind="admitted").inc()
         out = [self._send(SubmitAck(tasklet_id=tasklet.tasklet_id, accepted=True), src)]
-        out.extend(self._issue(state, tasklet.qoc.redundancy))
+        peer = self._forward_target()
+        if peer is not None:
+            # The admission is journalled (ours to survive) but placement
+            # goes to the peer: no local provider has a free slot and the
+            # gossip view says this peer does.
+            out.append(self._forward(state, peer, now))
+        else:
+            out.extend(self._issue(state, tasklet.qoc.redundancy))
         return out
+
+    def _forward_target(self) -> str | None:
+        """Peer to forward a fresh admission to, or ``None`` (keep local)."""
+        if (
+            self.federation is None
+            or not self.federation.config.forward_when_saturated
+        ):
+            return None
+        if self.registry.views(require_free_slot=True):
+            return None  # local capacity exists; no reason to forward
+        return self.federation.choose_peer()
 
     def _build_state(
         self, src: NodeId, tasklet: Tasklet, tasklet_dict: dict, now: float
@@ -596,6 +691,30 @@ class BrokerCore:
             self.journal.record_complete(completion)
             if self._metrics is not None:
                 self._metrics.journal_records.labels(kind="complete").inc()
+            self._maybe_compact_journal()
+
+    def _maybe_compact_journal(self) -> None:
+        """Auto-compact the journal when its thresholds are crossed.
+
+        Called after completion writes (the moment ``admitted`` records
+        become droppable) and never while holding the journal lock —
+        ``compact`` takes it itself.
+        """
+        if self.journal is None:
+            return
+        stats = self.journal.maybe_compact()
+        if stats is None:
+            return
+        self.stats.journal_compactions += 1
+        if self._metrics is not None:
+            self._metrics.journal_compactions.inc()
+        if self._events is not None:
+            self._events.record(
+                ev.JOURNAL_COMPACTED,
+                node=str(self.node_id),
+                ts=self.clock.now(),
+                **stats,
+            )
 
     # -- crash recovery ---------------------------------------------------------
 
@@ -635,6 +754,11 @@ class BrokerCore:
             )
 
     def _admit_from_journal(self, entry: dict) -> _TaskletState | None:
+        if entry.get("origin"):
+            # Work a federation peer forwarded to this broker: the origin
+            # still holds the durable admission and reclaims it when this
+            # broker is lost, so re-admitting here would double-execute.
+            return None
         try:
             tasklet = Tasklet.from_dict(entry["tasklet"])
         except (TaskletError, KeyError, TypeError, ValueError):
@@ -964,8 +1088,20 @@ class BrokerCore:
         return self._complete(state, ok=False, error=error)
 
     def _complete(
-        self, state: _TaskletState, ok: bool, value=None, error: str | None = None
+        self,
+        state: _TaskletState,
+        ok: bool,
+        value=None,
+        error: str | None = None,
+        attempts: int | None = None,
+        cost: float | None = None,
+        executions: list[dict] | None = None,
+        executed_by: str | None = None,
     ) -> list[Envelope]:
+        """Finish one tasklet.  The override parameters carry the outcome
+        of a *forwarded* execution back from a peer broker (attempts,
+        cost, and execution records happened there, not here); all default
+        to this broker's own bookkeeping."""
         if state.done:
             # Completion is single-shot: a caller further up the stack
             # (e.g. _fold_record re-checking after a failed _issue)
@@ -1034,7 +1170,17 @@ class BrokerCore:
             )
         state.outstanding.clear()
         state.pending_replicas = 0
-        cost = self.ledger.pop_cost_of(state.key)
+        local_cost = self.ledger.pop_cost_of(state.key)
+        if cost is None:
+            cost = local_cost
+        if attempts is None:
+            attempts = state.issued
+        if executions is None:
+            executions = [
+                record.to_dict() for record in state.collector.all_records
+            ]
+        if executed_by is None:
+            executed_by = str(self.node_id) if state.issued > 0 else ""
         self._remember_completion(
             CompletionRecord(
                 key=state.key,
@@ -1043,31 +1189,478 @@ class BrokerCore:
                 ok=ok,
                 value=value,
                 error=error,
-                attempts=state.issued,
+                attempts=attempts,
                 cost=cost,
                 memo_key=state.memo_key,
                 completed_at=self.clock.now(),
+                executed_by=executed_by,
             )
         )
-        complete = self._send(
-            TaskletComplete(
-                tasklet_id=state.tasklet_id,
-                ok=ok,
-                value=value,
-                error=error,
-                attempts=state.issued,
-                cost=cost,
-                executions=[
-                    record.to_dict() for record in state.collector.all_records
-                ],
-            ),
-            state.consumer_id,
-        )
+        if state.origin_broker is not None:
+            # Forwarded work: the consumer belongs to the origin broker,
+            # so the outcome flows back there instead.
+            complete = self._send(
+                ForwardComplete(
+                    tasklet_id=str(state.tasklet_id),
+                    consumer_id=str(state.consumer_id),
+                    broker_id=str(self.node_id),
+                    ok=ok,
+                    value=value,
+                    error=error,
+                    attempts=attempts,
+                    cost=cost,
+                    executions=executions,
+                    executed_by=executed_by,
+                ),
+                state.origin_broker,
+            )
+            if state.direct_consumer:
+                out.append(
+                    self._send(
+                        TaskletComplete(
+                            tasklet_id=state.tasklet_id,
+                            ok=ok,
+                            value=value,
+                            error=error,
+                            attempts=attempts,
+                            cost=cost,
+                            executions=executions,
+                        ),
+                        state.consumer_id,
+                    )
+                )
+        else:
+            complete = self._send(
+                TaskletComplete(
+                    tasklet_id=state.tasklet_id,
+                    ok=ok,
+                    value=value,
+                    error=error,
+                    attempts=attempts,
+                    cost=cost,
+                    executions=executions,
+                ),
+                state.consumer_id,
+            )
         if state.trace_ctx is not None:
             complete.trace = state.trace_ctx.to_dict()
         out.append(complete)
         del self._tasklets[state.key]
         return out
+
+    # -- federation -------------------------------------------------------------
+
+    def _wire_tasklet(self, state: _TaskletState) -> dict:
+        """Reassemble the wire-form Tasklet dict from admitted state."""
+        return {
+            "tasklet_id": str(state.tasklet_id),
+            "program": state.program,
+            "program_fingerprint": state.program_fingerprint,
+            "entry": state.entry,
+            "args": list(state.args),
+            "qoc": state.qoc.to_dict(),
+            "seed": state.seed,
+            "fuel": state.fuel,
+        }
+
+    def _forward(
+        self, state: _TaskletState, peer_id: str, now: float
+    ) -> Envelope:
+        """Hand a fresh admission to a peer broker with free capacity."""
+        state.forwarded_to = NodeId(peer_id)
+        state.forwarded_at = now
+        state.forward_acked = False
+        self.stats.tasklets_forwarded += 1
+        if self._fed_metrics is not None:
+            self._fed_metrics.forwards.labels(direction="out").inc()
+        if self._events is not None:
+            self._events.record(
+                ev.TASKLET_FORWARDED,
+                node=str(peer_id),
+                ts=now,
+                tasklet_id=str(state.tasklet_id),
+                consumer_id=str(state.consumer_id),
+            )
+        return self._forward_envelope(state, now)
+
+    def _forward_envelope(self, state: _TaskletState, now: float) -> Envelope:
+        """(Re-)send one forward; idempotent on the receiving peer."""
+        state.forward_last_sent = now
+        return self._send(
+            ForwardTasklet(
+                origin_broker=str(self.node_id),
+                consumer_id=str(state.consumer_id),
+                tasklet=self._wire_tasklet(state),
+            ),
+            state.forwarded_to,
+        )
+
+    def _forward_complete_of(self, completion: CompletionRecord) -> ForwardComplete:
+        """Terminal outcome of forwarded work, rebuilt from the record
+        (serves duplicate forwards idempotently)."""
+        return ForwardComplete(
+            tasklet_id=completion.tasklet_id,
+            consumer_id=completion.consumer_id,
+            broker_id=str(self.node_id),
+            ok=completion.ok,
+            value=completion.value,
+            error=completion.error,
+            attempts=completion.attempts,
+            cost=completion.cost,
+            executions=[],
+            executed_by=completion.executed_by,
+        )
+
+    def _on_forward(self, body: ForwardTasklet) -> list[Envelope]:
+        """Admit (or idempotently re-answer) work forwarded by a peer."""
+        origin = NodeId(body.origin_broker)
+        now = self.clock.now()
+        try:
+            tasklet = Tasklet.from_dict(body.tasklet)
+        except (TaskletError, KeyError, TypeError, ValueError) as exc:
+            ack = ForwardAck(
+                tasklet_id=str(body.tasklet.get("tasklet_id", "?")),
+                consumer_id=body.consumer_id,
+                accepted=False,
+                broker_id=str(self.node_id),
+                reason=f"malformed tasklet: {exc}",
+            )
+            return [self._send(ack, origin)]
+        key = f"{body.consumer_id}/{tasklet.tasklet_id}"
+        accept = ForwardAck(
+            tasklet_id=str(tasklet.tasklet_id),
+            consumer_id=body.consumer_id,
+            accepted=True,
+            broker_id=str(self.node_id),
+        )
+        completed = self._completed.get(key)
+        if completed is not None:
+            # Duplicate of already-finished work (the origin re-sent an
+            # unacked forward): re-deliver the journalled outcome.
+            return [
+                self._send(accept, origin),
+                self._send(self._forward_complete_of(completed), origin),
+            ]
+        if key in self._tasklets:
+            return [self._send(accept, origin)]  # still running; just re-ack
+        if body.hops > self.federation.config.max_hops:
+            return [
+                self._send(
+                    ForwardAck(
+                        tasklet_id=str(tasklet.tasklet_id),
+                        consumer_id=body.consumer_id,
+                        accepted=False,
+                        broker_id=str(self.node_id),
+                        reason=f"too many hops ({body.hops})",
+                    ),
+                    origin,
+                )
+            ]
+        if not self.registry.views(require_free_slot=True):
+            # The gossip view the origin routed on is stale; rejecting
+            # (rather than queueing) sends the work back to a broker that
+            # holds the durable admission.
+            return [
+                self._send(
+                    ForwardAck(
+                        tasklet_id=str(tasklet.tasklet_id),
+                        consumer_id=body.consumer_id,
+                        accepted=False,
+                        broker_id=str(self.node_id),
+                        reason="no free capacity",
+                    ),
+                    origin,
+                )
+            ]
+        memo = memo_key_of(
+            body.tasklet.get("program_fingerprint", ""),
+            tasklet.entry,
+            tasklet.args,
+            tasklet.seed,
+            tasklet.fuel,
+        )
+        if self.result_cache is not None and memo is not None:
+            hit = self.result_cache.get(memo)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                if self._metrics is not None:
+                    self._metrics.memo_cache.labels(result="hit").inc()
+                completion = CompletionRecord(
+                    key=key,
+                    tasklet_id=str(tasklet.tasklet_id),
+                    consumer_id=body.consumer_id,
+                    ok=True,
+                    value=hit.value,
+                    attempts=0,
+                    cost=0.0,
+                    memo_key=memo,
+                    completed_at=now,
+                )
+                self._remember_completion(completion)
+                return [
+                    self._send(accept, origin),
+                    self._send(self._forward_complete_of(completion), origin),
+                ]
+        state = self._build_state(
+            NodeId(body.consumer_id), tasklet, body.tasklet, now
+        )
+        state.memo_key = memo
+        state.origin_broker = origin
+        self._tasklets[key] = state
+        self.stats.forwards_received += 1
+        if self._fed_metrics is not None:
+            self._fed_metrics.forwards.labels(direction="in").inc()
+        if self.journal is not None:
+            # Origin-tagged: the origin holds the durable admission, so a
+            # restart of *this* broker never re-admits it (see
+            # _admit_from_journal); the record exists for the cross-journal
+            # exactly-once audit.
+            self.journal.record_admitted(
+                key, body.consumer_id, body.tasklet, ts=now,
+                origin=body.origin_broker,
+            )
+            if self._metrics is not None:
+                self._metrics.journal_records.labels(kind="admitted").inc()
+        out = [self._send(accept, origin)]
+        out.extend(self._issue(state, tasklet.qoc.redundancy))
+        return out
+
+    def _on_forward_ack(self, body: ForwardAck) -> list[Envelope]:
+        key = f"{body.consumer_id}/{body.tasklet_id}"
+        state = self._tasklets.get(key)
+        if state is None or state.done or state.forwarded_to is None:
+            return []
+        if body.broker_id and body.broker_id != str(state.forwarded_to):
+            return []  # ack from a peer this tasklet was reclaimed from
+        if body.accepted:
+            state.forward_acked = True
+            return []
+        return self._reclaim_forward(
+            state, reason=body.reason or "rejected by peer"
+        )
+
+    def _on_forward_complete(self, body: ForwardComplete) -> list[Envelope]:
+        key = f"{body.consumer_id}/{body.tasklet_id}"
+        state = self._tasklets.get(key)
+        if state is None or state.done:
+            return []  # duplicate outcome; the first one already won
+        self.stats.forwards_completed += 1
+        if self._fed_metrics is not None:
+            self._fed_metrics.forward_results.labels(
+                outcome="ok" if body.ok else "failed"
+            ).inc()
+        # _complete cancels any local replicas issued by a racing reclaim,
+        # so a peer outcome arriving late still resolves exactly once.
+        return self._complete(
+            state,
+            ok=body.ok,
+            value=body.value,
+            error=body.error,
+            attempts=body.attempts,
+            cost=body.cost,
+            executions=list(body.executions),
+            executed_by=body.executed_by,
+        )
+
+    def _reclaim_forward(
+        self, state: _TaskletState, reason: str
+    ) -> list[Envelope]:
+        """Take forwarded work back and run it locally.
+
+        Only called when the forward is *known* dead — peer declared
+        dead, peer restarted under a new epoch, or explicit rejection —
+        never on a blind timeout, which is what preserves exactly-once.
+        """
+        if state.done or state.forwarded_to is None:
+            return []
+        peer_id = str(state.forwarded_to)
+        state.forwarded_to = None
+        state.forwarded_at = 0.0
+        state.forward_acked = False
+        state.forward_last_sent = 0.0
+        self.stats.forwards_reclaimed += 1
+        if self._events is not None:
+            self._events.record(
+                ev.FORWARD_RECLAIMED,
+                node=peer_id,
+                ts=self.clock.now(),
+                tasklet_id=str(state.tasklet_id),
+                reason=reason,
+            )
+        return self._issue(state, state.qoc.redundancy)
+
+    def _reclaim_forwards_to(self, peer_id: str, reason: str) -> list[Envelope]:
+        out: list[Envelope] = []
+        for state in list(self._tasklets.values()):
+            if state.forwarded_to is not None and str(state.forwarded_to) == peer_id:
+                out.extend(self._reclaim_forward(state, reason))
+        return out
+
+    def _observe_peer(
+        self, broker_id: str, epoch: str, now: float
+    ) -> list[Envelope]:
+        """Fold a peer sighting into the table; react to transitions."""
+        out: list[Envelope] = []
+        for transition in self.federation.observe(broker_id, epoch, now):
+            if transition == PEER_CAME_UP and self._events is not None:
+                self._events.record(
+                    ev.PEER_UP, node=broker_id, ts=now, epoch=epoch
+                )
+            elif transition == PEER_EPOCH_CHANGED:
+                # The previous incarnation's in-memory state — including
+                # everything we forwarded to it — is gone.
+                out.extend(
+                    self._reclaim_forwards_to(
+                        broker_id, reason="peer restarted (epoch changed)"
+                    )
+                )
+        return out
+
+    def _on_peer_hello(self, body: PeerHello) -> list[Envelope]:
+        out = self._observe_peer(body.broker_id, body.epoch, self.clock.now())
+        if body.reply_expected:
+            out.append(
+                self._send(
+                    PeerHello(
+                        broker_id=str(self.node_id),
+                        epoch=self.federation.epoch,
+                    ),
+                    NodeId(body.broker_id),
+                )
+            )
+        return out
+
+    def _on_gossip(self, body: GossipDigest) -> list[Envelope]:
+        now = self.clock.now()
+        out = self._observe_peer(body.broker_id, body.epoch, now)
+        self.federation.update_load(
+            body.broker_id,
+            providers_total=body.providers_total,
+            providers_alive=body.providers_alive,
+            free_slots=body.free_slots,
+            pending_tasklets=body.pending_tasklets,
+            backlog_replicas=body.backlog_replicas,
+            grades=body.grades,
+        )
+        if self._fed_metrics is not None:
+            self._fed_metrics.gossip.labels(direction="in").inc()
+        return out
+
+    def _federation_tick(self, now: float) -> list[Envelope]:
+        """Gossip, peer failure detection, and unacked-forward re-sends."""
+        out: list[Envelope] = []
+        dead, gossip_due = self.federation.tick(now)
+        for peer_id in dead:
+            self._raise_alert(ev.PEER_DOWN, node=peer_id, ts=now)
+            out.extend(self._on_peer_dead(peer_id, now))
+        if gossip_due and self.federation.peers:
+            digest = self._build_digest(now)
+            for peer_id in self.federation.peer_ids():
+                out.append(self._send(digest, NodeId(peer_id)))
+                if self._fed_metrics is not None:
+                    self._fed_metrics.gossip.labels(direction="out").inc()
+        resend_after = self.federation.config.forward_resend_interval
+        for state in list(self._tasklets.values()):
+            if state.done or state.forwarded_to is None or state.forward_acked:
+                continue
+            if now - state.forward_last_sent < resend_after:
+                continue
+            peer = self.federation.peers.get(str(state.forwarded_to))
+            if peer is not None and peer.alive:
+                # Safe to repeat: the peer admits forwards idempotently.
+                out.append(self._forward_envelope(state, now))
+        if self._fed_metrics is not None:
+            self._fed_metrics.peers_alive.set(len(self.federation.alive_peers()))
+        return out
+
+    def _on_peer_dead(self, peer_id: str, now: float) -> list[Envelope]:
+        out = self._reclaim_forwards_to(peer_id, reason="peer broker dead")
+        journal_path = self.federation.config.peer_journals.get(peer_id)
+        if (
+            journal_path
+            and self.federation.successor_of(peer_id) == str(self.node_id)
+        ):
+            out.extend(self._adopt_journal(peer_id, journal_path, now))
+        return out
+
+    def _adopt_journal(
+        self, peer_id: str, path: str, now: float
+    ) -> list[Envelope]:
+        """Adopt a dead peer's journal (this broker is its successor).
+
+        Completions become re-deliverable here (consumers failing over
+        get journalled outcomes instead of re-executions); pending
+        admissions are re-admitted and executed.  Origin-tagged entries
+        are skipped by ``_admit_from_journal`` — their origin broker
+        reclaims them itself.
+        """
+        try:
+            snapshot = replay_journal(path)
+        except OSError:
+            return []
+        out: list[Envelope] = []
+        adopted_completions = 0
+        adopted_pending = 0
+        for completion in snapshot.completions.values():
+            if completion.key in self._completed or completion.key in self._tasklets:
+                continue
+            self._remember_completion(completion)
+            adopted_completions += 1
+        for entry in snapshot.pending:
+            state = self._admit_from_journal(entry)
+            if state is None:
+                continue
+            if self.journal is not None:
+                self.journal.record_admitted(
+                    state.key,
+                    str(state.consumer_id),
+                    entry["tasklet"],
+                    ts=now,
+                )
+            adopted_pending += 1
+            out.extend(self._issue(state, state.qoc.redundancy))
+        self.stats.completions_adopted += adopted_completions
+        self.stats.tasklets_adopted += adopted_pending
+        if self._fed_metrics is not None:
+            if adopted_completions:
+                self._fed_metrics.handoff.labels(kind="complete").inc(
+                    adopted_completions
+                )
+            if adopted_pending:
+                self._fed_metrics.handoff.labels(kind="pending").inc(
+                    adopted_pending
+                )
+        if self._events is not None:
+            self._events.record(
+                ev.JOURNAL_HANDOFF,
+                node=peer_id,
+                ts=now,
+                successor=str(self.node_id),
+                pending=adopted_pending,
+                completions=adopted_completions,
+                malformed=snapshot.malformed,
+            )
+        return out
+
+    def _build_digest(self, now: float) -> GossipDigest:
+        records = self.registry.records()
+        grades: dict[str, int] = {}
+        if self.health is not None:
+            for card in self.health.scorecards(records, now):
+                grades[card.grade] = grades.get(card.grade, 0) + 1
+        return GossipDigest(
+            broker_id=str(self.node_id),
+            epoch=self.federation.epoch,
+            sent_at=now,
+            providers_total=len(records),
+            providers_alive=sum(1 for record in records if record.alive),
+            free_slots=sum(view.free_slots for view in self.registry.views()),
+            pending_tasklets=len(self._tasklets),
+            backlog_replicas=sum(
+                state.pending_replicas for state in self._tasklets.values()
+            ),
+            grades=grades,
+        )
 
     # -- failure handling ---------------------------------------------------------
 
@@ -1219,6 +1812,19 @@ class BrokerCore:
             "providers_alive": sum(1 for record in records if record.alive),
             "pending_tasklets": len(self._tasklets),
         }
+        if self.federation is not None:
+            doc["federation"] = {
+                "epoch": self.federation.epoch,
+                "peers": [
+                    peer.to_dict(now)
+                    for peer in self.federation.peers.values()
+                ],
+                "forwarded_pending": sum(
+                    1
+                    for state in self._tasklets.values()
+                    if state.forwarded_to is not None
+                ),
+            }
         if self.health is None:
             doc["status"] = "ok" if doc["providers_alive"] else "unhealthy"
             return doc

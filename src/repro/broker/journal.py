@@ -92,6 +92,10 @@ class CompletionRecord:
     cost: float = 0.0
     memo_key: str | None = None
     completed_at: float = 0.0
+    #: Broker whose providers actually executed this tasklet ("" when the
+    #: outcome came from the result cache or a journal redelivery).  Lets
+    #: federation audits assert exactly-once across all broker journals.
+    executed_by: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -105,6 +109,7 @@ class CompletionRecord:
             "cost": self.cost,
             "memo_key": self.memo_key,
             "completed_at": self.completed_at,
+            "executed_by": self.executed_by,
         }
 
     @classmethod
@@ -120,6 +125,7 @@ class CompletionRecord:
             cost=float(data.get("cost", 0.0)),
             memo_key=data.get("memo_key"),
             completed_at=float(data.get("completed_at", 0.0)),
+            executed_by=str(data.get("executed_by", "")),
         )
 
 
@@ -205,32 +211,62 @@ class WorkJournal:
     most the line being written — which replay tolerates.  ``fsync=True``
     additionally syncs every append for machines where the page cache
     must not be trusted; off by default because it dominates admission
-    latency.
+    latency (``benchmarks/bench_micro_journal.py`` measures both paths).
+
+    ``auto_compact_records`` / ``auto_compact_bytes`` arm automatic
+    compaction: once that many records have been appended since the last
+    compaction (or the file exceeds that many bytes), the next
+    :meth:`maybe_compact` call rewrites the journal in place, dropping
+    ``admitted`` records that already completed.  Both default to off —
+    compaction stays manual via ``repro journal --compact``.
     """
 
-    def __init__(self, path: str, fsync: bool = False):
+    #: Appends required between byte-triggered compactions, so a journal
+    #: dominated by live (incompactable) state cannot re-trigger a
+    #: rewrite on every write.
+    MIN_APPENDS_BETWEEN_COMPACTIONS = 32
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        auto_compact_records: int | None = None,
+        auto_compact_bytes: int | None = None,
+    ):
         self.path = path
         self.fsync = fsync
+        self.auto_compact_records = auto_compact_records
+        self.auto_compact_bytes = auto_compact_bytes
         self._lock = threading.Lock()
+        self._appended = 0  # records written since open / last compaction
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._file = open(path, "a", encoding="utf-8")
+        self._size = self._file.tell()
 
     # -- writes ---------------------------------------------------------------
 
     def record_admitted(
-        self, key: str, consumer_id: str, tasklet: dict, ts: float
+        self, key: str, consumer_id: str, tasklet: dict, ts: float,
+        origin: str = "",
     ) -> None:
-        """Journal one admission (the full wire-form Tasklet)."""
-        self._write(
-            {
-                "kind": KIND_ADMITTED,
-                "key": key,
-                "consumer_id": consumer_id,
-                "ts": ts,
-                "tasklet": tasklet,
-            }
-        )
+        """Journal one admission (the full wire-form Tasklet).
+
+        ``origin`` names the originating broker for work forwarded by a
+        federation peer: such admissions are the *origin's* durable
+        responsibility, so replay never re-admits them here (the origin
+        reclaims and re-issues them when this broker is lost).
+        """
+        record = {
+            "kind": KIND_ADMITTED,
+            "key": key,
+            "consumer_id": consumer_id,
+            "ts": ts,
+            "tasklet": tasklet,
+        }
+        if origin:
+            record["origin"] = origin
+        self._write(record)
 
     def record_complete(self, completion: CompletionRecord) -> None:
         """Journal one terminal outcome."""
@@ -247,6 +283,8 @@ class WorkJournal:
             self._file.flush()
             if self.fsync:
                 os.fsync(self._file.fileno())
+            self._appended += 1
+            self._size += len(line) + 1
 
     # -- reads ----------------------------------------------------------------
 
@@ -291,6 +329,8 @@ class WorkJournal:
                 self._file.close()
             os.replace(temp_path, self.path)
             self._file = open(self.path, "a", encoding="utf-8")
+            self._size = self._file.tell()
+            self._appended = 0
         kept = JournalSnapshot(
             pending=snapshot.pending,
             completions=OrderedDict(
@@ -301,6 +341,41 @@ class WorkJournal:
             malformed=0,
         )
         return kept
+
+    def should_compact(self) -> bool:
+        """True when an armed auto-compaction threshold has been crossed."""
+        with self._lock:
+            if self._file.closed:
+                return False
+            if (
+                self.auto_compact_records is not None
+                and self._appended >= self.auto_compact_records
+            ):
+                return True
+            return (
+                self.auto_compact_bytes is not None
+                and self._size >= self.auto_compact_bytes
+                and self._appended >= self.MIN_APPENDS_BETWEEN_COMPACTIONS
+            )
+
+    def maybe_compact(self) -> dict | None:
+        """Compact if a threshold is crossed; stats dict or ``None``.
+
+        Called by the broker after journal writes (never while holding
+        the journal lock — :meth:`compact` takes it itself).  The stats
+        feed the ``journal_compacted`` event.
+        """
+        if not self.should_compact():
+            return None
+        bytes_before = self._size
+        snapshot = self.compact()
+        return {
+            "records_kept": snapshot.admitted + snapshot.completed,
+            "pending": len(snapshot.pending),
+            "completions": len(snapshot.completions),
+            "bytes_before": bytes_before,
+            "bytes_after": self._size,
+        }
 
     def close(self) -> None:
         with self._lock:

@@ -9,6 +9,8 @@
     python -m repro metrics  --from-url http://127.0.0.1:9150   # live scrape
     python -m repro top      http://127.0.0.1:9150 # live cluster view
     python -m repro journal  work_journal.jsonl    # inspect broker durability
+    python -m repro broker   --port 7070 --broker-id b1 \
+                             --peer b2=127.0.0.1:7071   # federated broker
     python -m repro report F3 F4                   # regenerate experiments
 
 ``compile``/``disasm``/``run`` accept either Tasklet source (``.tl``, or
@@ -246,6 +248,28 @@ def _render_top(health: dict, alerts: list[dict]) -> str:
                 f"{card.get('heartbeat_age', 0):>7.1f}s "
                 f"{card.get('flaps', 0):>6} {card.get('straggling', 0):>6}"
             )
+    federation = health.get("federation") or {}
+    peers = federation.get("peers") or []
+    if peers:
+        lines.append("")
+        lines.append(
+            f"{'PEER':<18} {'STATE':<8} {'EPOCH':<14} {'PROV':>7} "
+            f"{'SLOTS':>6} {'PEND':>6} {'SEEN':>8}"
+        )
+        for peer in peers:
+            age = peer.get("last_seen_age_s")
+            seen = f"{age:.1f}s" if age is not None else "never"
+            prov = (
+                f"{peer.get('providers_alive', 0)}/"
+                f"{peer.get('providers_total', 0)}"
+            )
+            lines.append(
+                f"{peer.get('broker_id', '?'):<18} "
+                f"{'alive' if peer.get('alive') else 'dead':<8} "
+                f"{peer.get('epoch', '?') or '?':<14} {prov:>7} "
+                f"{peer.get('free_slots', 0):>6} "
+                f"{peer.get('pending_tasklets', 0):>6} {seen:>8}"
+            )
     stragglers = health.get("stragglers") or []
     if stragglers:
         lines.append("")
@@ -365,6 +389,71 @@ def _cmd_journal(args: argparse.Namespace) -> int:
         f"completions: {len(snapshot.completions)} retained "
         f"({ok_count} ok, {len(snapshot.completions) - ok_count} failed)"
     )
+    return 0
+
+
+def _parse_peer_spec(spec: str) -> tuple[str, str, int]:
+    """Parse one ``--peer id=host:port`` argument."""
+    peer_id, sep, address = spec.partition("=")
+    host, sep2, port = address.rpartition(":")
+    if not sep or not sep2 or not peer_id or not host:
+        raise TaskletError(
+            f"malformed --peer {spec!r}: expected id=host:port"
+        )
+    try:
+        return peer_id, host, int(port)
+    except ValueError as exc:
+        raise TaskletError(f"malformed --peer port in {spec!r}") from exc
+
+
+def _cmd_broker(args: argparse.Namespace) -> int:
+    """Serve a (possibly federated) broker until interrupted."""
+    import signal
+    import threading
+
+    from .obs.telemetry import Telemetry
+    from .transport.tcp import TcpBroker
+
+    peers = {}
+    for spec in args.peer or []:
+        peer_id, host, port = _parse_peer_spec(spec)
+        peers[peer_id] = (host, port)
+    peer_journals = {}
+    for spec in args.peer_journal or []:
+        peer_id, _, path = spec.partition("=")
+        if not path:
+            raise TaskletError(
+                f"malformed --peer-journal {spec!r}: expected id=path"
+            )
+        peer_journals[peer_id] = path
+    broker = TcpBroker(
+        host=args.host,
+        port=args.port,
+        strategy=args.strategy,
+        telemetry=Telemetry() if args.obs_port is not None else None,
+        obs_port=args.obs_port,
+        journal_path=args.journal,
+        journal_sync=args.journal_sync,
+        journal_compact_records=args.journal_compact_records,
+        broker_id=args.broker_id,
+        peers=peers or None,
+        peer_journals=peer_journals or None,
+        gossip_interval=args.gossip_interval,
+    )
+    broker.start()
+    host, port = broker.address
+    print(f"broker {broker.core.node_id} listening on {host}:{port}")
+    if peers:
+        print(f"federation peers: {', '.join(sorted(peers))}")
+    if args.obs_port is not None:
+        print(f"observability: http://{args.host}:{args.obs_port}")
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    broker.stop()
     return 0
 
 
@@ -518,6 +607,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the journal, dropping admitted records that completed",
     )
     journal_cmd.set_defaults(handler=_cmd_journal)
+
+    broker_cmd = commands.add_parser(
+        "broker",
+        help="serve a broker (optionally federated) until interrupted",
+        epilog=(
+            "Starts a TcpBroker on --port. Repeat --peer id=host:port to "
+            "join a static federation peer set (gossip, forwarding, "
+            "failover); --peer-journal id=path additionally enables journal "
+            "handoff when that peer dies. --journal enables the durable "
+            "work journal; --journal-sync fsyncs every record."
+        ),
+    )
+    broker_cmd.add_argument("--host", default="127.0.0.1")
+    broker_cmd.add_argument("--port", type=int, default=7070)
+    broker_cmd.add_argument(
+        "--broker-id", help="stable broker node id (required for federation)"
+    )
+    broker_cmd.add_argument(
+        "--peer", action="append", metavar="ID=HOST:PORT",
+        help="federation peer (repeatable)",
+    )
+    broker_cmd.add_argument(
+        "--peer-journal", action="append", metavar="ID=PATH",
+        help="peer journal path for handoff on peer death (repeatable)",
+    )
+    broker_cmd.add_argument("--journal", help="work journal path (JSONL)")
+    broker_cmd.add_argument(
+        "--journal-sync", action="store_true",
+        help="fsync the journal after every record (durability over speed)",
+    )
+    broker_cmd.add_argument(
+        "--journal-compact-records", type=int, default=None,
+        help="auto-compact the journal past this many records",
+    )
+    broker_cmd.add_argument("--strategy", default="qoc")
+    broker_cmd.add_argument("--gossip-interval", type=float, default=1.0)
+    broker_cmd.add_argument(
+        "--obs-port", type=int, default=None,
+        help="serve /metrics /healthz /events on this port",
+    )
+    broker_cmd.set_defaults(handler=_cmd_broker)
 
     report_cmd = commands.add_parser(
         "report", help="run experiments and rewrite EXPERIMENTS.md"

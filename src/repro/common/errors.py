@@ -113,6 +113,22 @@ class BrokerUnreachable(TransportError):
     """
 
 
+class FederationExhausted(BrokerUnreachable):
+    """Every broker in the consumer's failover list was tried and failed.
+
+    Raised (and used to fail pending futures) once the capped reconnect
+    budget is spent cycling the broker list.  ``brokers`` lists the
+    ``host:port`` endpoints tried; ``attempts`` is the total connection
+    attempts made.
+    """
+
+    def __init__(self, message: str, brokers: list[str] | None = None,
+                 attempts: int = 0):
+        self.brokers = list(brokers or [])
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class SchedulingError(TaskletError):
     """The broker could not produce a valid provider assignment."""
 

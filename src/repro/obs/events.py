@@ -57,6 +57,14 @@ JOURNAL_RECOVERED = "journal_recovered"  # broker replayed its work journal
 MEMO_HIT = "memo_hit"  # submission served from the result cache
 RESULT_REDELIVERED = "result_redelivered"  # journalled outcome re-sent on resubmit
 BACKLOG_OVERFLOW = "backlog_overflow"  # replicas dropped: scheduling backlog full
+JOURNAL_COMPACTED = "journal_compacted"  # work journal rewritten in place
+PEER_UP = "peer_up"  # federation peer became reachable (hello/digest seen)
+PEER_DOWN = "peer_down"  # federation peer's digests stopped arriving
+TASKLET_FORWARDED = "tasklet_forwarded"  # placement forwarded to a peer broker
+FORWARD_RECLAIMED = "forward_reclaimed"  # forwarded work taken back (peer lost)
+JOURNAL_HANDOFF = "journal_handoff"  # dead peer's journal adopted by successor
+BROKER_FAILOVER = "broker_failover"  # consumer/provider switched brokers
+FEDERATION_EXHAUSTED = "federation_exhausted"  # every listed broker unreachable
 
 #: Kinds that represent actionable operator alerts (``repro top`` surfaces
 #: these first).
@@ -68,6 +76,8 @@ ALERT_KINDS = frozenset(
         TASKLET_FAILED,
         DISCONNECT,
         BACKLOG_OVERFLOW,
+        PEER_DOWN,
+        FEDERATION_EXHAUSTED,
     }
 )
 

@@ -144,6 +144,40 @@ class BrokerMetrics:
             "repro_broker_replicas_overflowed_total",
             "Replicas dropped because the scheduling backlog was full",
         )
+        self.journal_compactions = registry.counter(
+            "repro_broker_journal_compactions_total",
+            "Automatic in-place rewrites of the work journal",
+        )
+
+
+class FederationMetrics:
+    """Broker federation families (peer gossip, forwarding, handoff)."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.gossip = registry.counter(
+            "repro_federation_gossip_total",
+            "Gossip digests exchanged with peer brokers, by direction",
+            labelnames=("direction",),
+        )
+        self.forwards = registry.counter(
+            "repro_federation_forwards_total",
+            "Tasklets forwarded between brokers, by direction",
+            labelnames=("direction",),
+        )
+        self.forward_results = registry.counter(
+            "repro_federation_forward_results_total",
+            "Forwarded tasklets that reached a terminal state, by outcome",
+            labelnames=("outcome",),
+        )
+        self.peers_alive = registry.gauge(
+            "repro_federation_peers_alive",
+            "Configured peer brokers currently considered alive",
+        )
+        self.handoff = registry.counter(
+            "repro_federation_handoff_total",
+            "Journal records adopted from dead peers' journals, by kind",
+            labelnames=("kind",),
+        )
 
 
 class ProviderMetrics:

@@ -19,6 +19,15 @@ The protocol (arrows show direction; B=broker, P=provider, C=consumer)::
     P -> B   EXECUTION_REJECTED     provider refuses (full/leaving)
     B -> P   CANCEL_EXECUTION       replica no longer needed
     B -> C   TASKLET_COMPLETE       final voted result
+
+Federation adds broker-to-broker peer messages (see docs/PROTOCOL.md,
+"Federation"):
+
+    B -> B   PEER_HELLO             announce id + incarnation epoch
+    B -> B   GOSSIP_DIGEST          periodic registry/health/load summary
+    B -> B   FORWARD_TASKLET        place one tasklet on a peer's pool
+    B -> B   FORWARD_ACK            peer accepted/rejected the forward
+    B -> B   FORWARD_COMPLETE       terminal outcome flows back to origin
 """
 
 from __future__ import annotations
@@ -285,3 +294,102 @@ class TaskletComplete(MessageBody):
     attempts: int = 0
     cost: float = 0.0  # total billed across all executions (cost QoC)
     executions: list[dict[str, Any]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Broker <-> broker (federation)
+# ---------------------------------------------------------------------------
+
+
+@_message("peer_hello")
+@dataclass
+class PeerHello(MessageBody):
+    """A broker announces itself to a configured peer.
+
+    ``epoch`` is the sender's incarnation id (fresh per process start): a
+    peer observing a *changed* epoch knows the broker restarted and that
+    any work forwarded to the previous incarnation is gone.  The dialing
+    side sets ``reply_expected`` so the listener answers with its own
+    hello (with ``reply_expected=False``, terminating the exchange).
+    """
+
+    broker_id: str
+    epoch: str
+    reply_expected: bool = False
+
+
+@_message("gossip_digest")
+@dataclass
+class GossipDigest(MessageBody):
+    """Periodic peer summary: registry size, load, health grade counts.
+
+    Doubles as the peer liveness signal — a peer whose digests stop
+    arriving is declared dead after the configured tolerance.  ``grades``
+    maps health grade -> provider count (empty when the sending broker
+    runs without telemetry).
+    """
+
+    broker_id: str
+    epoch: str
+    sent_at: float = 0.0
+    providers_total: int = 0
+    providers_alive: int = 0
+    free_slots: int = 0
+    pending_tasklets: int = 0
+    backlog_replicas: int = 0
+    grades: dict[str, int] = field(default_factory=dict)
+
+
+@_message("forward_tasklet")
+@dataclass
+class ForwardTasklet(MessageBody):
+    """One tasklet placed on a peer broker's provider pool.
+
+    The origin broker stays responsible to its consumer: the peer
+    executes and returns a :class:`ForwardComplete` to ``origin_broker``
+    rather than talking to the consumer directly.  Re-sending the same
+    forward is idempotent (the peer re-acks in-flight work and re-answers
+    completed work), which is how forwards survive a dropped peer link.
+    ``hops`` guards against forwarding chains: a forwarded tasklet is
+    never forwarded again.
+    """
+
+    origin_broker: str
+    consumer_id: str
+    tasklet: dict[str, Any]  # Tasklet.to_dict()
+    hops: int = 1
+
+
+@_message("forward_ack")
+@dataclass
+class ForwardAck(MessageBody):
+    """Peer's admission decision for one forwarded tasklet."""
+
+    tasklet_id: str
+    consumer_id: str
+    accepted: bool
+    broker_id: str = ""
+    reason: str = ""
+
+
+@_message("forward_complete")
+@dataclass
+class ForwardComplete(MessageBody):
+    """Terminal outcome of a forwarded tasklet, returned to the origin.
+
+    ``executed_by`` names the broker whose providers actually executed
+    the work ("" when the peer answered from its journal or result
+    cache), so exactly-once accounting is auditable across the
+    federation's journals.
+    """
+
+    tasklet_id: str
+    consumer_id: str
+    broker_id: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    cost: float = 0.0
+    executions: list[dict[str, Any]] = field(default_factory=list)
+    executed_by: str = ""

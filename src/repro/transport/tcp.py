@@ -43,10 +43,15 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 
 from ..broker.core import BrokerConfig, BrokerCore
+from ..broker.federation import FederationConfig
 from ..broker.journal import WorkJournal
 from ..broker.scheduling import make_strategy
 from ..common.clock import WallClock
-from ..common.errors import ConnectionClosed, TransportError
+from ..common.errors import (
+    ConnectionClosed,
+    FederationExhausted,
+    TransportError,
+)
 from ..common.ids import IdGenerator, NodeId, random_id
 from ..common.serde import FrameReader, pack_frame
 from ..consumer.core import ConsumerCore
@@ -68,6 +73,7 @@ from ..transport.message import (
     ExecutionResult,
     Heartbeat,
     HeartbeatAck,
+    PeerHello,
     REASON_UNKNOWN_PROVIDER,
     RegisterAck,
     RegisterProvider,
@@ -151,7 +157,16 @@ def _connect(
 
 
 class TcpBroker:
-    """The broker as a TCP server (see module docstring)."""
+    """The broker as a TCP server (see module docstring).
+
+    Federation: pass ``broker_id`` plus ``peers`` (peer broker id ->
+    ``(host, port)``) to join a static peer set.  The broker dials every
+    peer (with backoff), introduces itself with a ``PeerHello``, and the
+    shared reader loop routes gossip/forward traffic into the core like
+    any other connection.  ``peer_journals`` (peer id -> journal path)
+    additionally enables journal handoff: when a peer is declared dead
+    and this broker is its successor, the peer's journal is adopted.
+    """
 
     def __init__(
         self,
@@ -163,6 +178,13 @@ class TcpBroker:
         obs_port: int | None = None,
         obs_host: str = "127.0.0.1",
         journal_path: str | None = None,
+        journal_sync: bool = False,
+        journal_compact_records: int | None = None,
+        journal_compact_bytes: int | None = None,
+        broker_id: str | None = None,
+        peers: dict[str, tuple[str, int]] | None = None,
+        peer_journals: dict[str, str] | None = None,
+        gossip_interval: float = 1.0,
     ):
         self.config = config or BrokerConfig()
         if obs_port is not None and telemetry is None:
@@ -177,17 +199,39 @@ class TcpBroker:
         #: core replays it: pending tasklets are re-admitted (queued until
         #: providers re-register) and completed outcomes become
         #: re-deliverable to reconnecting consumers that resubmit.
-        self.journal = WorkJournal(journal_path) if journal_path else None
+        self.journal = (
+            WorkJournal(
+                journal_path,
+                fsync=journal_sync,
+                auto_compact_records=journal_compact_records,
+                auto_compact_bytes=journal_compact_bytes,
+            )
+            if journal_path
+            else None
+        )
+        #: Federation peer addresses (empty = standalone broker).
+        self._peer_addresses = dict(peers or {})
+        federation = (
+            FederationConfig(
+                peers=list(self._peer_addresses),
+                gossip_interval=gossip_interval,
+                peer_journals=dict(peer_journals or {}),
+            )
+            if self._peer_addresses
+            else None
+        )
         self.core = BrokerCore(
             clock=WallClock(),
             strategy=make_strategy(strategy),
             config=self.config,
+            node_id=NodeId(broker_id) if broker_id else BROKER_ADDRESS,
             # Namespaced ids: a restarted broker must never mint an
             # execution id that a previous incarnation already used (a
             # provider could still answer the old one).
             id_generator=IdGenerator(namespace=uuid.uuid4().hex[:8]),
             telemetry=telemetry,
             journal=self.journal,
+            federation=federation,
         )
         self._core_lock = threading.Lock()
         self._connections: dict[NodeId, _Connection] = {}
@@ -240,6 +284,15 @@ class TcpBroker:
         self._threads += [accept_thread, tick_thread]
         accept_thread.start()
         tick_thread.start()
+        for peer_id, (peer_host, peer_port) in self._peer_addresses.items():
+            peer_thread = threading.Thread(
+                target=self._peer_loop,
+                args=(peer_id, peer_host, peer_port),
+                name=f"broker-peer-{peer_id}",
+                daemon=True,
+            )
+            self._threads.append(peer_thread)
+            peer_thread.start()
         return self
 
     def stop(self) -> None:
@@ -338,6 +391,48 @@ class TcpBroker:
                 outbound = self.core.tick()
             self._route(outbound)
 
+    def _peer_loop(self, peer_id: str, host: str, port: int) -> None:
+        """Maintain the outbound link to one federation peer.
+
+        Dial with capped exponential backoff plus jitter, introduce
+        ourselves with a ``PeerHello`` (reply expected, so the peer's
+        epoch lands in our table immediately), then hand the connection
+        to the shared reader loop.  Both sides dialing each other is
+        fine: forwards and gossip are idempotent, and ``_connections``
+        keeps whichever link registered last.
+        """
+        backoff = 0.2
+        rng = random.Random(f"{self.core.node_id}->{peer_id}")
+        while self._running.is_set():
+            try:
+                connection = _connect(
+                    host, port, timeout=5.0, metrics=self._transport_metrics
+                )
+            except OSError:
+                if self._stop_event.wait(backoff * (1.0 + 0.5 * rng.random())):
+                    return
+                backoff = min(backoff * 2.0, 5.0)
+                continue
+            backoff = 0.2
+            connection.peer_id = NodeId(peer_id)
+            with self._connections_lock:
+                self._accepted.add(connection)
+                self._connections[NodeId(peer_id)] = connection
+            if self._transport_metrics is not None:
+                self._transport_metrics.connections.inc()
+            hello = PeerHello(
+                broker_id=str(self.core.node_id),
+                epoch=self.core.federation.epoch,
+                reply_expected=True,
+            )
+            try:
+                connection.send(
+                    hello.envelope(self.core.node_id, NodeId(peer_id))
+                )
+            except ConnectionClosed:
+                pass  # reader loop below observes the dead link and returns
+            self._reader_loop(connection)  # returns when the link dies
+
     def _route(self, envelopes: list[Envelope]) -> None:
         for envelope in envelopes:
             with self._connections_lock:
@@ -363,8 +458,8 @@ class TcpProvider:
 
     def __init__(
         self,
-        broker_host: str,
-        broker_port: int,
+        broker_host: str | None = None,
+        broker_port: int | None = None,
         capacity: int = 2,
         device_class: str = "host",
         node_id: str | None = None,
@@ -379,6 +474,7 @@ class TcpProvider:
         profile_executions: bool = False,
         obs_port: int | None = None,
         obs_host: str = "127.0.0.1",
+        brokers: list[tuple[str, int]] | None = None,
     ):
         self.node_id = NodeId(node_id or random_id("prov"))
         self.capacity = capacity
@@ -426,7 +522,16 @@ class TcpProvider:
         #: a restarted broker may have reused their execution ids.
         self._epoch = 0
         self._rng = random.Random(self.node_id)
-        self._broker = (broker_host, broker_port)
+        #: Brokers to try, in order; reconnects cycle through the list so
+        #: a provider survives the death of its home broker (federation).
+        if brokers:
+            self._brokers = [tuple(address) for address in brokers]
+        elif broker_host is not None and broker_port is not None:
+            self._brokers = [(broker_host, broker_port)]
+        else:
+            raise ValueError("either broker_host/broker_port or brokers required")
+        self._broker_index = 0
+        self._broker = self._brokers[0]
         self.obs: ObsServer | None = (
             ObsServer(
                 telemetry,
@@ -578,11 +683,28 @@ class TcpProvider:
             if self._stop_event.wait(self._jittered(backoff)):
                 return
             backoff = min(backoff * 2.0, self.reconnect_backoff_max)
-            try:
-                candidate = _connect(
-                    *self._broker, timeout=5.0, metrics=self._transport_metrics
-                )
-            except OSError:
+            candidate = None
+            for offset in range(len(self._brokers)):
+                index = (self._broker_index + offset) % len(self._brokers)
+                try:
+                    candidate = _connect(
+                        *self._brokers[index],
+                        timeout=5.0,
+                        metrics=self._transport_metrics,
+                    )
+                except OSError:
+                    continue
+                if index != self._broker_index and self._events is not None:
+                    host, port = self._brokers[index]
+                    self._events.record(
+                        ev.BROKER_FAILOVER,
+                        node=str(self.node_id),
+                        broker=f"{host}:{port}",
+                    )
+                self._broker_index = index
+                self._broker = self._brokers[index]
+                break
+            if candidate is None:
                 continue
             self._connection = candidate
             try:
@@ -782,16 +904,30 @@ class TcpConsumer:
     :class:`~repro.common.errors.BrokerUnreachable` (typed, immediate — no
     caller is left hanging until its timeout) and the optional
     ``on_disconnect`` hook is invoked with a human-readable reason.
+
+    Federation: pass ``brokers=[(host, port), ...]`` instead of a single
+    address and the consumer fails over automatically — when the link
+    dies it cycles the list with capped exponential backoff plus jitter,
+    reconnects to the first broker that answers, and fires a
+    ``broker_failover`` event.  Pending futures are still failed on the
+    drop (resubmitting with the same tasklet ids is idempotent); once the
+    attempt cap is exhausted a typed
+    :class:`~repro.common.errors.FederationExhausted` (a
+    ``BrokerUnreachable`` subclass) names every broker tried.
     """
 
     def __init__(
         self,
-        broker_host: str,
-        broker_port: int,
+        broker_host: str | None = None,
+        broker_port: int | None = None,
         node_id: str | None = None,
         base_seed: int = 0,
         on_disconnect=None,
         telemetry: Telemetry | None = None,
+        brokers: list[tuple[str, int]] | None = None,
+        failover_backoff: float = 0.2,
+        failover_backoff_max: float = 2.0,
+        max_failover_attempts: int = 12,
     ):
         self.node_id = NodeId(node_id or random_id("cons"))
         self._clock = WallClock()
@@ -799,22 +935,41 @@ class TcpConsumer:
         self._transport_metrics = (
             TransportMetrics(telemetry.registry) if telemetry else None
         )
+        self._events = telemetry.events if telemetry else None
         self.core = ConsumerCore(
             node_id=self.node_id, clock=self._clock, telemetry=telemetry
         )
         self.library = TaskletLibrary(session=self, base_seed=base_seed)
         self.on_disconnect = on_disconnect
-        self._broker = (broker_host, broker_port)
+        #: Auto-failover is enabled only by the ``brokers`` list; the
+        #: single-address form keeps the explicit-``reconnect()`` contract.
+        self._failover_enabled = brokers is not None
+        if brokers:
+            self._brokers = [tuple(address) for address in brokers]
+        elif broker_host is not None and broker_port is not None:
+            self._brokers = [(broker_host, broker_port)]
+        else:
+            raise ValueError("either broker_host/broker_port or brokers required")
+        self._broker = self._brokers[0]
+        self.failover_backoff = failover_backoff
+        self.failover_backoff_max = failover_backoff_max
+        self.max_failover_attempts = max_failover_attempts
+        self._exhausted: FederationExhausted | None = None
+        self._rng = random.Random(self.node_id)
         self._connection: _Connection | None = None
         self._reader: threading.Thread | None = None
         self._running = threading.Event()
         self._disconnected = threading.Event()
 
     def start(self) -> "TcpConsumer":
-        self._connection = _connect(
-            *self._broker, metrics=self._transport_metrics
-        )
+        # _running first: _connect_any uses it as its abort signal.
         self._running.set()
+        if self._failover_enabled:
+            self._connection = self._connect_any()
+        else:
+            self._connection = _connect(
+                *self._broker, metrics=self._transport_metrics
+            )
         self._start_reader(self._connection)
         return self
 
@@ -870,6 +1025,8 @@ class TcpConsumer:
     # -- Session protocol ----------------------------------------------------
 
     def submit_tasklet(self, tasklet: Tasklet) -> TaskletFuture:
+        if self._exhausted is not None:
+            raise self._exhausted
         if self._connection is None:
             raise TransportError("consumer not started")
         future, envelopes = self.core.submit(tasklet)
@@ -919,6 +1076,65 @@ class TcpConsumer:
         hook = self.on_disconnect
         if hook is not None:
             hook("connection to broker lost")
+        if self._failover_enabled and self._running.is_set():
+            self._try_failover()
+
+    def _connect_any(self) -> _Connection:
+        """Connect to the first answering broker in the list.
+
+        Cycles the whole list per round with capped exponential backoff
+        plus jitter between rounds; gives up with a typed
+        :class:`FederationExhausted` once ``max_failover_attempts``
+        connection attempts have failed.
+        """
+        attempts = 0
+        backoff = self.failover_backoff
+        while self._running.is_set():
+            for host, port in self._brokers:
+                attempts += 1
+                try:
+                    connection = _connect(
+                        host, port, timeout=5.0,
+                        metrics=self._transport_metrics,
+                    )
+                except OSError:
+                    continue
+                self._broker = (host, port)
+                return connection
+            if attempts >= self.max_failover_attempts:
+                break
+            time.sleep(backoff * (1.0 + 0.5 * self._rng.random()))
+            backoff = min(backoff * 2.0, self.failover_backoff_max)
+        raise FederationExhausted(
+            f"no broker reachable after {attempts} attempts",
+            brokers=[f"{host}:{port}" for host, port in self._brokers],
+            attempts=attempts,
+        )
+
+    def _try_failover(self) -> None:
+        """Runs in the dying reader thread: find a live broker or give up."""
+        try:
+            connection = self._connect_any()
+        except FederationExhausted as exc:
+            self._exhausted = exc
+            if self._events is not None:
+                self._events.record(
+                    ev.FEDERATION_EXHAUSTED,
+                    node=str(self.node_id),
+                    brokers=exc.brokers,
+                    attempts=exc.attempts,
+                )
+            return
+        self._connection = connection
+        self._disconnected.clear()
+        if self._events is not None:
+            host, port = self._broker
+            self._events.record(
+                ev.BROKER_FAILOVER,
+                node=str(self.node_id),
+                broker=f"{host}:{port}",
+            )
+        self._start_reader(connection)
 
 
 def _provider_process_main(

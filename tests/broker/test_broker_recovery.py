@@ -229,3 +229,64 @@ class TestMemoization:
         assert completions[0].ok and completions[0].value == 77
         assert second.broker.stats.executions_issued == 0
         second.close()
+
+
+class TestAutoCompactionWiring:
+    def test_completions_trigger_compaction_and_event(self, tmp_path):
+        from repro.obs import Telemetry
+
+        journal = WorkJournal(
+            str(tmp_path / "wj.jsonl"), auto_compact_records=4
+        )
+        telemetry = Telemetry()
+        clock = VirtualClock()
+        broker = BrokerCore(
+            clock=clock,
+            strategy=LeastLoadedStrategy(),
+            config=BrokerConfig(execution_timeout=None, memoize_results=False),
+            journal=journal,
+            telemetry=telemetry,
+        )
+
+        def send(body, src):
+            return [
+                (e.dst, body_of(e))
+                for e in broker.handle(body.envelope(NodeId(src), broker.node_id))
+            ]
+
+        send(
+            RegisterProvider(
+                provider_id="p1", device_class="desktop",
+                capacity=4, benchmark_score=1e6,
+            ),
+            src="p1",
+        )
+        for n in range(3):
+            tasklet = Tasklet(
+                tasklet_id=TaskletId(f"tl-{n}"), program=PROGRAM,
+                entry="main", args=[n], qoc=QoC(),
+            )
+            out = send(SubmitTasklet(tasklet=tasklet.to_dict()), src="c1")
+            assign = next(
+                body for _, body in out if isinstance(body, AssignExecution)
+            )
+            send(
+                ExecutionResult(
+                    execution_id=assign.execution_id,
+                    tasklet_id=assign.tasklet_id,
+                    provider_id="p1",
+                    status="success",
+                    value=n + 1,
+                    instructions=1000,
+                    started_at=clock.now(),
+                    finished_at=clock.now(),
+                ),
+                src="p1",
+            )
+        # 3 admissions + 3 completions crossed the 4-record threshold.
+        assert broker.stats.journal_compactions >= 1
+        events = telemetry.events.events(kind="journal_compacted")
+        assert events
+        assert events[-1].attrs["pending"] == 0
+        assert events[-1].attrs["bytes_after"] <= events[-1].attrs["bytes_before"]
+        journal.close()

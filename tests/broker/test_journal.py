@@ -177,3 +177,62 @@ class TestResultCache:
         assert cache.get("a") is not None
         assert cache.get("c") is not None
         assert len(cache) == 2
+
+
+class TestAutoCompact:
+    def test_record_threshold_triggers_compaction(self, tmp_path):
+        journal = WorkJournal(
+            str(tmp_path / "wj.jsonl"), auto_compact_records=4
+        )
+        for n in range(3):
+            journal.record_admitted(f"c1/tl-{n}", "c1", TASKLET, ts=float(n))
+            journal.record_complete(make_completion(f"c1/tl-{n}"))
+        assert journal.should_compact()
+        stats = journal.maybe_compact()
+        assert stats is not None
+        assert stats["pending"] == 0
+        assert stats["bytes_after"] < stats["bytes_before"]
+        # Counter reset: the next append does not immediately re-trigger.
+        journal.record_admitted("c1/tl-9", "c1", TASKLET, ts=9.0)
+        assert not journal.should_compact()
+        assert journal.maybe_compact() is None
+        journal.close()
+        snapshot = replay_journal(str(tmp_path / "wj.jsonl"))
+        assert list(snapshot.pending_keys) == ["c1/tl-9"]
+        assert len(snapshot.completions) == 3
+
+    def test_byte_threshold_respects_min_appends_guard(self, tmp_path):
+        journal = WorkJournal(
+            str(tmp_path / "wj.jsonl"), auto_compact_bytes=1
+        )
+        # Over the byte threshold after one append, but the guard holds
+        # until MIN_APPENDS_BETWEEN_COMPACTIONS writes have accumulated —
+        # a journal that compacts to a large residue must not thrash.
+        journal.record_admitted("c1/tl-0", "c1", TASKLET, ts=0.0)
+        assert not journal.should_compact()
+        for n in range(WorkJournal.MIN_APPENDS_BETWEEN_COMPACTIONS):
+            journal.record_complete(make_completion(f"c1/tl-{n}"))
+        assert journal.should_compact()
+        assert journal.maybe_compact() is not None
+        journal.close()
+
+    def test_disarmed_by_default(self, tmp_path):
+        journal = WorkJournal(str(tmp_path / "wj.jsonl"))
+        for n in range(200):
+            journal.record_complete(make_completion(f"c1/tl-{n}"))
+        assert not journal.should_compact()
+        assert journal.maybe_compact() is None
+        journal.close()
+
+
+class TestFsyncMode:
+    def test_fsync_journal_replays_identically(self, tmp_path):
+        path = str(tmp_path / "wj.jsonl")
+        journal = WorkJournal(path, fsync=True)
+        journal.record_admitted("c1/tl-1", "c1", TASKLET, ts=1.0)
+        journal.record_complete(make_completion())
+        journal.close()
+        snapshot = replay_journal(path)
+        assert snapshot.pending == []
+        assert snapshot.completions["c1/tl-1"].value == 42
+        assert snapshot.malformed == 0

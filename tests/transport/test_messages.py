@@ -13,8 +13,13 @@ from repro.transport.message import (
     Envelope,
     ExecutionRejected,
     ExecutionResult,
+    ForwardAck,
+    ForwardComplete,
+    ForwardTasklet,
+    GossipDigest,
     Heartbeat,
     HeartbeatAck,
+    PeerHello,
     RegisterAck,
     RegisterProvider,
     SubmitAck,
@@ -61,6 +66,37 @@ SAMPLE_BODIES = [
     ),
     CancelExecution(execution_id="ex-1"),
     TaskletComplete(tasklet_id="tl-1", ok=True, value=3, attempts=1),
+    PeerHello(broker_id="broker-a", epoch="abc123", reply_expected=True),
+    GossipDigest(
+        broker_id="broker-a",
+        epoch="abc123",
+        sent_at=5.0,
+        providers_total=3,
+        providers_alive=2,
+        free_slots=4,
+        pending_tasklets=1,
+        backlog_replicas=0,
+        grades={"healthy": 2, "degraded": 1},
+    ),
+    ForwardTasklet(
+        origin_broker="broker-a",
+        consumer_id="c1",
+        tasklet={"tasklet_id": "tl-1", "entry": "main"},
+    ),
+    ForwardAck(
+        tasklet_id="tl-1", consumer_id="c1", accepted=True, broker_id="broker-b"
+    ),
+    ForwardComplete(
+        tasklet_id="tl-1",
+        consumer_id="c1",
+        broker_id="broker-b",
+        ok=True,
+        value=42,
+        attempts=1,
+        cost=0.5,
+        executions=[{"execution_id": "ex-1"}],
+        executed_by="broker-b",
+    ),
 ]
 
 
