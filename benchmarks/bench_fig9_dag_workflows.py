@@ -1,0 +1,13 @@
+"""F9 — broker-held DAG scheduling vs per-stage round-trips.
+
+Regenerates experiment F9 from DESIGN.md §3 and asserts its
+reconstructed shape claims.  See repro/bench/experiments/exp_f9_dag.py
+for the experiment definition and EXPERIMENTS.md for recorded results.
+"""
+
+from repro.bench.experiments import exp_f9_dag
+
+
+def test_f9_dag(run_experiment):
+    experiment = run_experiment(exp_f9_dag)
+    assert experiment.experiment_id == "F9"

@@ -1,0 +1,106 @@
+"""Pipelined map-reduce: one DAG submission, zero consumer round-trips.
+
+The classic three-stage pipeline — map shards in parallel, shuffle the
+per-shard results by key, reduce — expressed as a *workflow*: the whole
+graph goes to the broker in one ``submit_workflow`` call, and the broker
+releases each stage the moment its inputs exist, feeding predecessor
+outputs straight into successor arguments.  The consumer's only other
+involvement is collecting the final reduce output; no result ever
+travels back between stages.
+
+Contrast with driving the same pipeline by hand: submit the maps, wait,
+copy their outputs into the shuffle arguments, submit, wait, ... — a
+full network round-trip of dead time per stage (experiment F9 measures
+the difference).
+
+Run:  python examples/pipelined_map_reduce.py
+"""
+
+from repro import Simulation, WorkflowBuilder, from_node, gather, make_pool
+from repro.core.kernels import WORD_HISTOGRAM, python_word_histogram
+
+# Stage 2: one shuffle node per character class k sums class-k counts
+# across every map shard's histogram.
+SHUFFLE = """
+// Sum column k across the per-shard histograms.
+func main(parts: array, k: int) -> int {
+    var total: int = 0;
+    for (var i: int = 0; i < len(parts); i = i + 1) {
+        var hist: array = parts[i];
+        total = total + int(hist[k]);
+    }
+    return total;
+}
+"""
+
+# Stage 3: reassemble the per-class totals and append the grand total.
+REDUCE = """
+func main(counts: array) -> array {
+    var total: int = 0;
+    for (var i: int = 0; i < len(counts); i = i + 1) {
+        total = total + int(counts[i]);
+    }
+    var out: array = array(len(counts) + 1);
+    for (var i: int = 0; i < len(counts); i = i + 1) {
+        out[i] = counts[i];
+    }
+    out[len(counts)] = total;
+    return out;
+}
+"""
+
+SHARDS = [
+    "tasklets overcome heterogeneity",
+    "a tasklet is self contained code",
+    "offloaded to 1 of n providers",
+    "quality of computation goals",
+    "map shuffle reduce in 3 stages",
+    "results flow broker side only",
+]
+CLASSES = 4  # letters, digits, spaces, other
+
+
+def main() -> None:
+    simulation = Simulation(seed=7)
+    for config in make_pool({"desktop": 2, "laptop": 2, "smartphone": 2}):
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+
+    # Build the DAG: 6 maps -> 4 shuffles -> 1 reduce.  Placeholders
+    # (`gather`, `from_node`) mark where predecessor outputs are injected
+    # broker-side once those nodes complete.
+    builder = WorkflowBuilder("map-reduce")
+    maps = [
+        builder.node(WORD_HISTOGRAM, args=[shard], node_id=f"map{i}")
+        for i, shard in enumerate(SHARDS)
+    ]
+    shuffles = [
+        builder.node(SHUFFLE, args=[gather(maps), k], node_id=f"class{k}")
+        for k in range(CLASSES)
+    ]
+    builder.node(REDUCE, args=[gather(shuffles)], node_id="reduce")
+
+    # One submission carries the whole graph; one result() collects the
+    # sink output.  Everything in between is broker <-> provider traffic.
+    handle = consumer.library.submit_workflow(builder.build())
+    simulation.run()
+    outputs = handle.result(0)
+
+    # Verify against the pure-python oracle.
+    histograms = [python_word_histogram(shard) for shard in SHARDS]
+    totals = [sum(hist[k] for hist in histograms) for k in range(CLASSES)]
+    expected = totals + [sum(totals)]
+    assert outputs == {"reduce": expected}, (outputs, expected)
+    assert handle.nodes_total == len(SHARDS) + CLASSES + 1
+
+    labels = ["letters", "digits", "spaces", "other"]
+    print(f"{len(SHARDS)} shards -> {CLASSES} classes -> 1 reduce "
+          f"({handle.nodes_total} tasklets, 3 stages, 1 submission)")
+    for label, count in zip(labels, expected):
+        print(f"  {label:<8} {count}")
+    print(f"  {'total':<8} {expected[-1]}")
+    print("OK - pipeline verified against the local oracle")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,9 +34,19 @@ from .common.errors import (
     TaskletError,
     TimeoutExpired,
     VMError,
+    WorkflowError,
+    WorkflowFailed,
+    WorkflowSpecError,
 )
 from .consumer import TaskletLibrary
 from .core import QoC, Tasklet, TaskletFuture, TaskletResult
+from .dag import (
+    WorkflowBuilder,
+    WorkflowHandle,
+    WorkflowSpec,
+    from_node,
+    gather,
+)
 from .obs import MetricsRegistry, Telemetry, build_trace_tree, format_trace
 from .provider import ProviderConfig, ProviderCore, run_benchmark
 from .sim import ExponentialChurn, Simulation, make_pool
@@ -56,6 +66,14 @@ __all__ = [
     "TaskletError",
     "TimeoutExpired",
     "VMError",
+    "WorkflowError",
+    "WorkflowFailed",
+    "WorkflowSpecError",
+    "WorkflowBuilder",
+    "WorkflowHandle",
+    "WorkflowSpec",
+    "from_node",
+    "gather",
     "TaskletLibrary",
     "QoC",
     "Tasklet",

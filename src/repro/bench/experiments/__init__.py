@@ -14,6 +14,7 @@ from . import (
     exp_f6_redundancy,
     exp_f7_churn,
     exp_f8_tcp,
+    exp_f9_dag,
     exp_t1_devices,
     exp_t2_qoc,
     exp_t3_cost,
@@ -32,6 +33,7 @@ ALL_EXPERIMENTS = {
     "F6": exp_f6_redundancy,
     "F7": exp_f7_churn,
     "F8": exp_f8_tcp,
+    "F9": exp_f9_dag,
     "A1": exp_a1_misreport,
     "A2": exp_a2_voting,
     "A3": exp_a3_cache,

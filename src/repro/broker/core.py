@@ -29,11 +29,16 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..common.clock import Clock
-from ..common.errors import TaskletError
+from ..common.errors import TaskletError, WorkflowSpecError
 from ..common.ids import ExecutionId, IdGenerator, NodeId, TaskletId
 from ..core.qoc import QoC
 from ..core.results import ExecutionRecord, ExecutionStatus, VoteCollector
 from ..core.tasklet import Tasklet
+from ..dag.scheduler import DONE as NODE_DONE
+from ..dag.scheduler import FAILED as NODE_FAILED
+from ..dag.scheduler import RUNNING as NODE_RUNNING
+from ..dag.scheduler import DagScheduler
+from ..dag.spec import WorkflowSpec
 from ..obs import events as ev
 from ..obs.health import (
     GRADE_RANK,
@@ -42,7 +47,12 @@ from ..obs.health import (
     StragglerWatchdog,
     overall_status,
 )
-from ..obs.telemetry import BrokerMetrics, FederationMetrics, Telemetry
+from ..obs.telemetry import (
+    BrokerMetrics,
+    FederationMetrics,
+    Telemetry,
+    WorkflowMetrics,
+)
 from ..obs.trace import TraceContext
 from .accounting import CostLedger
 from .federation import (
@@ -80,8 +90,12 @@ from ..transport.message import (
     RegisterProvider,
     SubmitAck,
     SubmitTasklet,
+    SubmitWorkflow,
     TaskletComplete,
     Unregister,
+    WorkflowAck,
+    WorkflowComplete,
+    WorkflowUpdate,
     body_of,
 )
 
@@ -159,6 +173,17 @@ class BrokerStats:
     tasklets_adopted: int = 0
     #: Completions adopted from a dead peer's journal.
     completions_adopted: int = 0
+    # -- workflows ----------------------------------------------------------
+    workflows_submitted: int = 0
+    workflows_completed: int = 0
+    workflows_failed: int = 0
+    #: In-flight workflows resumed from the journal at startup.
+    workflows_recovered: int = 0
+    #: Workflow nodes that reached a terminal state (including memoized).
+    workflow_nodes_completed: int = 0
+    #: Workflow nodes short-circuited by the result cache or a journalled
+    #: completion: zero executions issued.
+    workflow_nodes_memoized: int = 0
 
 
 @dataclass
@@ -225,6 +250,27 @@ class _TaskletState:
     @property
     def budget_left(self) -> int:
         return max(0, self.budget - self.issued - self.pending_replicas)
+
+
+@dataclass
+class _WorkflowState:
+    """Broker-side lifecycle of one DAG workflow.
+
+    ``key`` is ``consumer_id/workflow_id``; node executions live in the
+    ordinary ``_tasklets`` table under ``consumer_id/workflow_id:node_id``
+    (the tasklet id embeds the graph), mapped back here via ``_wf_nodes``.
+    """
+
+    key: str
+    workflow_id: str
+    consumer_id: NodeId
+    spec: WorkflowSpec
+    scheduler: DagScheduler
+    submitted_at: float
+    #: Content hash of the spec — idempotent-resubmit identity.
+    spec_fingerprint: str
+    nodes_memoized: int = 0
+    done: bool = False
 
 
 class BrokerCore:
@@ -298,6 +344,15 @@ class BrokerCore:
             if telemetry and self.federation is not None
             else None
         )
+        #: DAG workflows: graph state by workflow key, node-key -> owning
+        #: (workflow key, node id), and terminal outcomes (LRU) serving
+        #: idempotent workflow resubmits.
+        self._workflows: dict[str, _WorkflowState] = {}
+        self._wf_nodes: dict[str, tuple[str, str]] = {}
+        self._wf_completed: "OrderedDict[str, dict]" = OrderedDict()
+        self._wf_metrics = (
+            WorkflowMetrics(telemetry.registry) if telemetry else None
+        )
         if journal is not None:
             self._recover(journal)
 
@@ -314,6 +369,8 @@ class BrokerCore:
             out = self._on_heartbeat(body)
         elif isinstance(body, SubmitTasklet):
             out = self._on_submit(envelope.src, body, envelope.trace)
+        elif isinstance(body, SubmitWorkflow):
+            out = self._on_submit_workflow(envelope.src, body)
         elif isinstance(body, ExecutionResult):
             out = self._on_result(body)
         elif isinstance(body, ExecutionRejected):
@@ -741,6 +798,19 @@ class BrokerCore:
             # point, so every replica lands in the backlog.
             self._issue(state, state.qoc.redundancy)
         self.stats.tasklets_recovered = recovered
+        for record in snapshot.workflow_completions.values():
+            key = str(record.get("key", ""))
+            outcome = record.get("outcome")
+            if key and isinstance(outcome, dict):
+                self._wf_completed[key] = outcome
+                self._wf_completed.move_to_end(key)
+        while len(self._wf_completed) > max(1, self.config.completed_retention):
+            self._wf_completed.popitem(last=False)
+        wf_recovered = 0
+        for entry in snapshot.workflows:
+            if self._resume_workflow_from_journal(entry):
+                wf_recovered += 1
+        self.stats.workflows_recovered = wf_recovered
         if self._metrics is not None and recovered:
             self._metrics.tasklets_recovered.inc(recovered)
         if self._events is not None:
@@ -750,6 +820,7 @@ class BrokerCore:
                 ts=self.clock.now(),
                 pending=recovered,
                 completions=len(snapshot.completions),
+                workflows=wf_recovered,
                 malformed=snapshot.malformed,
             )
 
@@ -781,6 +852,509 @@ class BrokerCore:
         )
         self._tasklets[key] = state
         return state
+
+    # -- workflows ----------------------------------------------------------------
+
+    @staticmethod
+    def _node_key(wf: _WorkflowState, node_id: str) -> str:
+        return f"{wf.consumer_id}/{wf.workflow_id}:{node_id}"
+
+    def _on_submit_workflow(
+        self, src: NodeId, body: SubmitWorkflow
+    ) -> list[Envelope]:
+        self.stats.workflows_submitted += 1
+        if self._wf_metrics is not None:
+            self._wf_metrics.submitted.inc()
+        workflow_id = "?"
+        if isinstance(body.workflow, dict):
+            workflow_id = str(body.workflow.get("workflow_id", "?"))
+        try:
+            spec = WorkflowSpec.from_dict(body.workflow)
+            spec.validate()
+        except (WorkflowSpecError, TaskletError, TypeError) as exc:
+            return [
+                self._send(
+                    WorkflowAck(
+                        workflow_id=workflow_id,
+                        accepted=False,
+                        reason=f"invalid workflow: {exc}",
+                    ),
+                    src,
+                )
+            ]
+        key = f"{src}/{spec.workflow_id}"
+        outcome = self._wf_completed.get(key)
+        if outcome is not None:
+            # Idempotent resubmit of a finished workflow (consumer
+            # reconnected, or the broker restarted between the terminal
+            # message and the consumer seeing it): redeliver the stored
+            # outcome, run nothing.
+            return self._redeliver_workflow(outcome, src)
+        existing = self._workflows.get(key)
+        if existing is not None:
+            if existing.spec_fingerprint == spec.fingerprint():
+                # Same graph resubmitted while in flight: re-ack and let
+                # the running instance complete to this consumer.
+                return [
+                    self._send(
+                        WorkflowAck(
+                            workflow_id=spec.workflow_id, accepted=True
+                        ),
+                        src,
+                    )
+                ]
+            return [
+                self._send(
+                    WorkflowAck(
+                        workflow_id=spec.workflow_id,
+                        accepted=False,
+                        reason="duplicate workflow id",
+                    ),
+                    src,
+                )
+            ]
+        now = self.clock.now()
+        wf = _WorkflowState(
+            key=key,
+            workflow_id=spec.workflow_id,
+            consumer_id=src,
+            spec=spec,
+            scheduler=DagScheduler(spec),
+            submitted_at=now,
+            spec_fingerprint=spec.fingerprint(),
+        )
+        self._workflows[key] = wf
+        if self._wf_metrics is not None:
+            self._wf_metrics.active.set(len(self._workflows))
+        if self.journal is not None:
+            self.journal.record_workflow_admitted(
+                key, str(src), spec.to_dict(), ts=now
+            )
+            if self._metrics is not None:
+                self._metrics.journal_records.labels(kind="wf_admitted").inc()
+        if self._events is not None:
+            self._events.record(
+                ev.WORKFLOW_ADMITTED,
+                node=str(src),
+                ts=now,
+                workflow_id=spec.workflow_id,
+                nodes=len(spec.nodes),
+            )
+        out = [
+            self._send(
+                WorkflowAck(workflow_id=spec.workflow_id, accepted=True), src
+            )
+        ]
+        out.extend(self._release_nodes(wf, wf.scheduler.start()))
+        return out
+
+    def _redeliver_workflow(self, outcome: dict, src: NodeId) -> list[Envelope]:
+        """Answer a resubmit of a finished workflow from the stored outcome."""
+        self.stats.completions_redelivered += 1
+        if self._metrics is not None:
+            self._metrics.completions_redelivered.inc()
+        if self._events is not None:
+            self._events.record(
+                ev.RESULT_REDELIVERED,
+                node=str(src),
+                ts=self.clock.now(),
+                workflow_id=str(outcome.get("workflow_id", "")),
+                ok=bool(outcome.get("ok")),
+            )
+        return [
+            self._send(
+                WorkflowAck(
+                    workflow_id=str(outcome.get("workflow_id", "")),
+                    accepted=True,
+                ),
+                src,
+            ),
+            self._send(self._workflow_complete_message(outcome), src),
+        ]
+
+    @staticmethod
+    def _workflow_complete_message(outcome: dict) -> WorkflowComplete:
+        return WorkflowComplete(
+            workflow_id=str(outcome.get("workflow_id", "")),
+            ok=bool(outcome.get("ok")),
+            outputs=dict(outcome.get("outputs") or {}),
+            error=outcome.get("error"),
+            failed_node=str(outcome.get("failed_node", "")),
+            dependents=list(outcome.get("dependents") or []),
+            nodes_total=int(outcome.get("nodes_total", 0)),
+            nodes_memoized=int(outcome.get("nodes_memoized", 0)),
+        )
+
+    def _release_nodes(
+        self, wf: _WorkflowState, node_ids: list[str]
+    ) -> list[Envelope]:
+        """Issue READY nodes; short-circuit ones whose result is known.
+
+        A worklist rather than plain iteration: a node served from the
+        result cache (or a journalled completion, during recovery)
+        completes instantly and may release its successors in the same
+        call.  Ends by finishing the workflow if the cascade drained it.
+        """
+        out: list[Envelope] = []
+        worklist = list(node_ids)
+        while worklist and not wf.done:
+            node_id = worklist.pop(0)
+            node = wf.spec.node(node_id)
+            node_key = self._node_key(wf, node_id)
+            now = self.clock.now()
+            prior = self._completed.get(node_key)
+            if prior is not None and not prior.ok:
+                # A journalled failure for this exact node (recovery, or
+                # a re-run of a failed graph whose outcome was evicted):
+                # the workflow fails the same way it did before.
+                dependents = wf.scheduler.fail(node_id)
+                out.extend(
+                    self._finish_workflow(
+                        wf,
+                        ok=False,
+                        error=prior.error
+                        or f"node {node_id!r} failed previously",
+                        failed_node=node_id,
+                        dependents=dependents,
+                    )
+                )
+                break
+            if prior is not None:
+                # Journalled success — recovery replay, zero executions.
+                out.extend(
+                    self._short_circuit_node(wf, node_id, prior.value, now)
+                )
+                worklist.extend(wf.scheduler.complete(node_id, prior.value))
+                continue
+            try:
+                args = wf.scheduler.args_of(node_id)
+                tasklet_dict = {
+                    "tasklet_id": f"{wf.workflow_id}:{node_id}",
+                    "program": wf.spec.programs[node.program_fingerprint],
+                    "program_fingerprint": node.program_fingerprint,
+                    "entry": node.entry,
+                    "args": args,
+                    "qoc": {"max_attempts": node.max_attempts},
+                    "seed": node.seed,
+                    "fuel": node.fuel,
+                }
+                tasklet = Tasklet.from_dict(tasklet_dict)
+            except (TaskletError, KeyError, TypeError, ValueError) as exc:
+                dependents = wf.scheduler.fail(node_id)
+                out.extend(
+                    self._finish_workflow(
+                        wf,
+                        ok=False,
+                        error=f"node {node_id!r} could not be released: {exc}",
+                        failed_node=node_id,
+                        dependents=dependents,
+                    )
+                )
+                break
+            memo = memo_key_of(
+                node.program_fingerprint,
+                node.entry,
+                args,
+                node.seed,
+                node.fuel,
+            )
+            if self.result_cache is not None and memo is not None:
+                hit = self.result_cache.get(memo)
+                if hit is not None:
+                    # Same computation seen before (any submitter):
+                    # the node completes with zero executions.
+                    self.stats.memo_hits += 1
+                    if self._metrics is not None:
+                        self._metrics.memo_cache.labels(result="hit").inc()
+                    self._remember_completion(
+                        CompletionRecord(
+                            key=node_key,
+                            tasklet_id=f"{wf.workflow_id}:{node_id}",
+                            consumer_id=str(wf.consumer_id),
+                            ok=True,
+                            value=hit.value,
+                            attempts=0,
+                            cost=0.0,
+                            memo_key=memo,
+                            completed_at=now,
+                        )
+                    )
+                    out.extend(
+                        self._short_circuit_node(wf, node_id, hit.value, now)
+                    )
+                    worklist.extend(wf.scheduler.complete(node_id, hit.value))
+                    continue
+                self.stats.memo_misses += 1
+                if self._metrics is not None:
+                    self._metrics.memo_cache.labels(result="miss").inc()
+            state = self._build_state(
+                wf.consumer_id, tasklet, tasklet_dict, now
+            )
+            state.memo_key = memo
+            self._tasklets[node_key] = state
+            self._wf_nodes[node_key] = (wf.key, node_id)
+            wf.scheduler.mark_running(node_id)
+            if self.journal is not None:
+                self.journal.record_admitted(
+                    node_key,
+                    str(wf.consumer_id),
+                    tasklet_dict,
+                    ts=now,
+                    workflow=wf.key,
+                )
+                if self._metrics is not None:
+                    self._metrics.journal_records.labels(kind="admitted").inc()
+            if self._events is not None:
+                self._events.record(
+                    ev.WORKFLOW_NODE_RELEASED,
+                    node=str(wf.consumer_id),
+                    ts=now,
+                    workflow_id=wf.workflow_id,
+                    node_id=node_id,
+                )
+            out.append(
+                self._send(
+                    WorkflowUpdate(
+                        workflow_id=wf.workflow_id,
+                        node_id=node_id,
+                        state=NODE_RUNNING,
+                    ),
+                    wf.consumer_id,
+                )
+            )
+            out.extend(self._issue(state, tasklet.qoc.redundancy))
+        if not wf.done and wf.scheduler.finished:
+            out.extend(self._finish_workflow(wf, ok=not wf.scheduler.failed))
+        return out
+
+    def _short_circuit_node(
+        self, wf: _WorkflowState, node_id: str, value, now: float
+    ) -> list[Envelope]:
+        """Bookkeeping for a node completed without executing anything."""
+        wf.nodes_memoized += 1
+        self.stats.workflow_nodes_memoized += 1
+        self.stats.workflow_nodes_completed += 1
+        if self._wf_metrics is not None:
+            self._wf_metrics.nodes.labels(outcome="memoized").inc()
+        if self._events is not None:
+            self._events.record(
+                ev.MEMO_HIT,
+                node=str(wf.consumer_id),
+                ts=now,
+                workflow_id=wf.workflow_id,
+                node_id=node_id,
+            )
+        return [
+            self._send(
+                WorkflowUpdate(
+                    workflow_id=wf.workflow_id,
+                    node_id=node_id,
+                    state=NODE_DONE,
+                    attempts=0,
+                ),
+                wf.consumer_id,
+            )
+        ]
+
+    def _on_node_terminal(
+        self,
+        wf_key: str,
+        node_id: str,
+        ok: bool,
+        value,
+        error: str | None,
+        attempts: int,
+    ) -> list[Envelope]:
+        """A workflow node's tasklet reached a terminal outcome."""
+        wf = self._workflows.get(wf_key)
+        if wf is None or wf.done:
+            return []
+        self.stats.workflow_nodes_completed += 1
+        if self._wf_metrics is not None:
+            self._wf_metrics.nodes.labels(
+                outcome="ok" if ok else "failed"
+            ).inc()
+        if ok:
+            out = [
+                self._send(
+                    WorkflowUpdate(
+                        workflow_id=wf.workflow_id,
+                        node_id=node_id,
+                        state=NODE_DONE,
+                        attempts=attempts,
+                    ),
+                    wf.consumer_id,
+                )
+            ]
+            released = wf.scheduler.complete(node_id, value)
+            out.extend(self._release_nodes(wf, released))
+            return out
+        dependents = wf.scheduler.fail(node_id)
+        out = [
+            self._send(
+                WorkflowUpdate(
+                    workflow_id=wf.workflow_id,
+                    node_id=node_id,
+                    state=NODE_FAILED,
+                    attempts=attempts,
+                    error=error,
+                ),
+                wf.consumer_id,
+            )
+        ]
+        out.extend(
+            self._finish_workflow(
+                wf,
+                ok=False,
+                error=error or f"node {node_id!r} failed",
+                failed_node=node_id,
+                dependents=dependents,
+            )
+        )
+        return out
+
+    def _finish_workflow(
+        self,
+        wf: _WorkflowState,
+        ok: bool,
+        error: str | None = None,
+        failed_node: str = "",
+        dependents: list[str] | None = None,
+    ) -> list[Envelope]:
+        """Terminate one workflow: cancel stragglers, journal, notify."""
+        if wf.done:
+            return []
+        wf.done = True
+        out: list[Envelope] = []
+        # Cancel sibling nodes still running (their results are useless
+        # once the graph has failed).  ``_complete`` routes each back
+        # through ``_on_node_terminal``, which the ``done`` flag above
+        # turns into a no-op.
+        for node_key, (owner_key, _node_id) in list(self._wf_nodes.items()):
+            if owner_key != wf.key:
+                continue
+            state = self._tasklets.get(node_key)
+            if state is not None and not state.done:
+                out.extend(
+                    self._complete(
+                        state,
+                        ok=False,
+                        error=(
+                            f"workflow {wf.workflow_id!r} cancelled: "
+                            f"{error or 'failed'}"
+                        ),
+                    )
+                )
+            else:
+                self._wf_nodes.pop(node_key, None)
+        now = self.clock.now()
+        outcome = {
+            "workflow_id": wf.workflow_id,
+            "consumer_id": str(wf.consumer_id),
+            "ok": ok,
+            "outputs": wf.scheduler.outputs() if ok else {},
+            "error": error,
+            "failed_node": failed_node,
+            "dependents": list(dependents or []),
+            "nodes_total": len(wf.spec.nodes),
+            "nodes_memoized": wf.nodes_memoized,
+        }
+        self._wf_completed[wf.key] = outcome
+        self._wf_completed.move_to_end(wf.key)
+        while len(self._wf_completed) > max(1, self.config.completed_retention):
+            self._wf_completed.popitem(last=False)
+        if self.journal is not None:
+            self.journal.record_workflow_complete(wf.key, outcome, ts=now)
+            if self._metrics is not None:
+                self._metrics.journal_records.labels(kind="wf_complete").inc()
+            self._maybe_compact_journal()
+        if ok:
+            self.stats.workflows_completed += 1
+        else:
+            self.stats.workflows_failed += 1
+        if self._wf_metrics is not None:
+            self._wf_metrics.completed.labels(
+                outcome="ok" if ok else "failed"
+            ).inc()
+        if self._events is not None:
+            if ok:
+                self._events.record(
+                    ev.WORKFLOW_COMPLETE,
+                    node=str(wf.consumer_id),
+                    ts=now,
+                    workflow_id=wf.workflow_id,
+                    nodes=len(wf.spec.nodes),
+                    memoized=wf.nodes_memoized,
+                    elapsed_s=round(now - wf.submitted_at, 6),
+                )
+            else:
+                self._raise_alert(
+                    ev.WORKFLOW_FAILED,
+                    node=str(wf.consumer_id),
+                    ts=now,
+                    workflow_id=wf.workflow_id,
+                    failed_node=failed_node,
+                    dependents=len(outcome["dependents"]),
+                    error=error or "",
+                )
+        out.append(
+            self._send(self._workflow_complete_message(outcome), wf.consumer_id)
+        )
+        del self._workflows[wf.key]
+        if self._wf_metrics is not None:
+            self._wf_metrics.active.set(len(self._workflows))
+        return out
+
+    def _resume_workflow_from_journal(self, entry: dict) -> bool:
+        """Rebuild one in-flight workflow during crash recovery.
+
+        The graph is reconstructed from the ``wf_admitted`` spec; node
+        completions already replayed into ``_completed`` short-circuit
+        through ``_release_nodes`` (zero re-execution), and the still-
+        missing frontier re-issues into the backlog.  Envelopes are
+        discarded — the consumer re-learns the outcome by resubmitting.
+        """
+        try:
+            spec = WorkflowSpec.from_dict(entry["workflow"])
+            spec.validate()
+        except (
+            WorkflowSpecError,
+            TaskletError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ):
+            return False
+        consumer_id = NodeId(str(entry.get("consumer_id", "")))
+        key = f"{consumer_id}/{spec.workflow_id}"
+        if key in self._workflows or key in self._wf_completed:
+            return False
+        wf = _WorkflowState(
+            key=key,
+            workflow_id=spec.workflow_id,
+            consumer_id=consumer_id,
+            spec=spec,
+            scheduler=DagScheduler(spec),
+            submitted_at=self.clock.now(),
+            spec_fingerprint=spec.fingerprint(),
+        )
+        self._workflows[key] = wf
+        self._release_nodes(wf, wf.scheduler.start())
+        if self._events is not None:
+            self._events.record(
+                ev.WORKFLOW_RECOVERED,
+                node=str(consumer_id),
+                ts=self.clock.now(),
+                workflow_id=spec.workflow_id,
+                nodes=len(spec.nodes),
+                done=wf.scheduler.counts()[NODE_DONE],
+            )
+        return True
+
+    @property
+    def pending_workflows(self) -> int:
+        """Workflows admitted but not yet terminal (for tests/monitoring)."""
+        return len(self._workflows)
 
     # -- execution lifecycle ------------------------------------------------------
 
@@ -1196,6 +1770,19 @@ class BrokerCore:
                 executed_by=executed_by,
             )
         )
+        wf_ref = self._wf_nodes.pop(state.key, None)
+        if wf_ref is not None:
+            # A workflow node: the outcome feeds the graph, not a
+            # consumer future.  Successor release / workflow failure is
+            # handled by the DAG layer; no TaskletComplete is sent.
+            del self._tasklets[state.key]
+            owner_key, node_id = wf_ref
+            out.extend(
+                self._on_node_terminal(
+                    owner_key, node_id, ok, value, error, attempts
+                )
+            )
+            return out
         if state.origin_broker is not None:
             # Forwarded work: the consumer belongs to the origin broker,
             # so the outcome flows back there instead.
@@ -1811,7 +2398,19 @@ class BrokerCore:
             "providers_total": len(records),
             "providers_alive": sum(1 for record in records if record.alive),
             "pending_tasklets": len(self._tasklets),
+            "pending_workflows": len(self._workflows),
         }
+        if self._workflows:
+            doc["workflows"] = [
+                {
+                    "workflow_id": wf.workflow_id,
+                    "consumer": str(wf.consumer_id),
+                    "nodes": len(wf.spec.nodes),
+                    "states": wf.scheduler.counts(),
+                    "age_s": round(max(0.0, now - wf.submitted_at), 6),
+                }
+                for wf in list(self._workflows.values())[:16]
+            ]
         if self.federation is not None:
             doc["federation"] = {
                 "epoch": self.federation.epoch,

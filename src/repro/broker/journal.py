@@ -39,9 +39,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
-#: Journal record kinds — the complete state vocabulary.
+#: Journal record kinds — the complete state vocabulary.  Workflow kinds
+#: mirror the tasklet pair at the graph level: a ``wf_admitted`` record
+#: carries the whole :class:`repro.dag.WorkflowSpec` wire dict, and node
+#: executions reuse plain ``admitted``/``complete`` records tagged with
+#: their owning workflow key (see :meth:`WorkJournal.record_admitted`).
 KIND_ADMITTED = "admitted"
 KIND_COMPLETE = "complete"
+KIND_WF_ADMITTED = "wf_admitted"
+KIND_WF_COMPLETE = "wf_complete"
 
 
 def memo_key_of(
@@ -145,10 +151,43 @@ class JournalSnapshot:
     #: Undecodable or schema-less lines skipped (crash-truncated tail,
     #: torn writes); never fatal.
     malformed: int = 0
+    #: ``wf_admitted`` records (raw dicts) with no matching
+    #: ``wf_complete``, in admission order — workflows a restarted broker
+    #: must resume.
+    workflows: list[dict] = field(default_factory=list)
+    #: Workflow key -> ``wf_complete`` record dict, most recent winning.
+    workflow_completions: "OrderedDict[str, dict]" = field(
+        default_factory=OrderedDict
+    )
+    #: Workflow-tagged node ``admitted`` records, in admission order.
+    #: Informational (CLI rendering): node re-release during recovery is
+    #: driven by the spec + completions, not by these.
+    workflow_nodes: list[dict] = field(default_factory=list)
+    workflows_admitted: int = 0
+    workflows_completed: int = 0
 
     @property
     def pending_keys(self) -> list[str]:
         return [str(entry.get("key", "")) for entry in self.pending]
+
+    @property
+    def pending_workflow_keys(self) -> list[str]:
+        return [str(entry.get("key", "")) for entry in self.workflows]
+
+    def workflow_node_state(self, node_key: str) -> str:
+        """Journal-derived state of one workflow node.
+
+        ``done``/``failed`` if a completion was journalled, ``running``
+        if the node was released (admitted) but never finished, and
+        ``waiting`` if the broker had not yet released it.
+        """
+        completion = self.completions.get(node_key)
+        if completion is not None:
+            return "done" if completion.ok else "failed"
+        for record in self.workflow_nodes:
+            if record.get("key") == node_key:
+                return "running"
+        return "waiting"
 
 
 def replay_journal(path: str) -> JournalSnapshot:
@@ -163,6 +202,7 @@ def replay_journal(path: str) -> JournalSnapshot:
     except FileNotFoundError:
         return snapshot
     admitted_by_key: "OrderedDict[str, dict]" = OrderedDict()
+    wf_by_key: "OrderedDict[str, dict]" = OrderedDict()
     with handle:
         for line in handle:
             line = line.strip()
@@ -183,7 +223,27 @@ def replay_journal(path: str) -> JournalSnapshot:
                     snapshot.malformed += 1
                     continue
                 snapshot.admitted += 1
+                if record.get("workflow"):
+                    # Node of a workflow: owned by its graph, never
+                    # re-admitted standalone.
+                    snapshot.workflow_nodes.append(record)
+                    continue
                 admitted_by_key[key] = record
+            elif kind == KIND_WF_ADMITTED:
+                key = record.get("key")
+                if not isinstance(key, str) or "workflow" not in record:
+                    snapshot.malformed += 1
+                    continue
+                snapshot.workflows_admitted += 1
+                wf_by_key[key] = record
+            elif kind == KIND_WF_COMPLETE:
+                key = record.get("key")
+                if not isinstance(key, str) or "outcome" not in record:
+                    snapshot.malformed += 1
+                    continue
+                snapshot.workflows_completed += 1
+                snapshot.workflow_completions[key] = record
+                snapshot.workflow_completions.move_to_end(key)
             elif kind == KIND_COMPLETE:
                 try:
                     completion = CompletionRecord.from_dict(record)
@@ -199,6 +259,11 @@ def replay_journal(path: str) -> JournalSnapshot:
         record
         for key, record in admitted_by_key.items()
         if key not in snapshot.completions
+    ]
+    snapshot.workflows = [
+        record
+        for key, record in wf_by_key.items()
+        if key not in snapshot.workflow_completions
     ]
     return snapshot
 
@@ -249,6 +314,7 @@ class WorkJournal:
     def record_admitted(
         self, key: str, consumer_id: str, tasklet: dict, ts: float,
         origin: str = "",
+        workflow: str = "",
     ) -> None:
         """Journal one admission (the full wire-form Tasklet).
 
@@ -256,6 +322,11 @@ class WorkJournal:
         federation peer: such admissions are the *origin's* durable
         responsibility, so replay never re-admits them here (the origin
         reclaims and re-issues them when this broker is lost).
+
+        ``workflow`` names the owning workflow key for a node released
+        from a DAG: replay keeps such records out of
+        :attr:`JournalSnapshot.pending` (the workflow's own recovery
+        path re-releases nodes from the spec + completions).
         """
         record = {
             "kind": KIND_ADMITTED,
@@ -266,6 +337,8 @@ class WorkJournal:
         }
         if origin:
             record["origin"] = origin
+        if workflow:
+            record["workflow"] = workflow
         self._write(record)
 
     def record_complete(self, completion: CompletionRecord) -> None:
@@ -273,6 +346,33 @@ class WorkJournal:
         record = completion.to_dict()
         record["kind"] = KIND_COMPLETE
         self._write(record)
+
+    def record_workflow_admitted(
+        self, key: str, consumer_id: str, workflow: dict, ts: float
+    ) -> None:
+        """Journal one admitted workflow (the full wire-form spec)."""
+        self._write(
+            {
+                "kind": KIND_WF_ADMITTED,
+                "key": key,
+                "consumer_id": consumer_id,
+                "ts": ts,
+                "workflow": workflow,
+            }
+        )
+
+    def record_workflow_complete(
+        self, key: str, outcome: dict, ts: float
+    ) -> None:
+        """Journal one workflow's terminal outcome dict."""
+        self._write(
+            {
+                "kind": KIND_WF_COMPLETE,
+                "key": key,
+                "ts": ts,
+                "outcome": outcome,
+            }
+        )
 
     def _write(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
@@ -301,28 +401,61 @@ class WorkJournal:
 
         Drops ``admitted`` records that already completed (the program
         payloads dominate journal size) and, when ``keep_completions``
-        is given, all but the most recent N completions.  The rewrite is
-        atomic (temp file + rename); returns the snapshot it kept.
+        is given, all but the most recent N completions.  State an
+        in-flight workflow still needs survives unconditionally: its
+        ``wf_admitted`` record, its not-yet-completed node admissions,
+        and its node completions (exempt from the ``keep_completions``
+        trim — recovery replays them into the rebuilt scheduler).  The
+        rewrite is atomic (temp file + rename); returns the snapshot it
+        kept.
         """
         snapshot = self.replay()
+        pending_wf = set(snapshot.pending_workflow_keys)
+
+        def _owned_by_pending_workflow(node_key: str) -> bool:
+            return any(node_key.startswith(wf + ":") for wf in pending_wf)
+
         completions = list(snapshot.completions.values())
         if keep_completions is not None and keep_completions >= 0:
-            completions = completions[-keep_completions:]
+            tail = (
+                {c.key for c in completions[-keep_completions:]}
+                if keep_completions
+                else set()
+            )
+            completions = [
+                completion
+                for completion in completions
+                if completion.key in tail
+                or _owned_by_pending_workflow(completion.key)
+            ]
+        live_nodes = [
+            record
+            for record in snapshot.workflow_nodes
+            if record.get("workflow") in pending_wf
+            and record.get("key") not in snapshot.completions
+        ]
         temp_path = self.path + ".compact"
         with self._lock:
             with open(temp_path, "w", encoding="utf-8") as temp:
-                for entry in snapshot.pending:
-                    temp.write(
-                        json.dumps(entry, sort_keys=True, separators=(",", ":"))
-                        + "\n"
-                    )
-                for completion in completions:
-                    record = completion.to_dict()
-                    record["kind"] = KIND_COMPLETE
+
+                def _emit(record: dict) -> None:
                     temp.write(
                         json.dumps(record, sort_keys=True, separators=(",", ":"))
                         + "\n"
                     )
+
+                for entry in snapshot.pending:
+                    _emit(entry)
+                for entry in snapshot.workflows:
+                    _emit(entry)
+                for entry in live_nodes:
+                    _emit(entry)
+                for completion in completions:
+                    record = completion.to_dict()
+                    record["kind"] = KIND_COMPLETE
+                    _emit(record)
+                for entry in snapshot.workflow_completions.values():
+                    _emit(entry)
                 temp.flush()
                 os.fsync(temp.fileno())
             if not self._file.closed:
@@ -336,9 +469,14 @@ class WorkJournal:
             completions=OrderedDict(
                 (completion.key, completion) for completion in completions
             ),
-            admitted=len(snapshot.pending),
+            admitted=len(snapshot.pending) + len(live_nodes),
             completed=len(completions),
             malformed=0,
+            workflows=snapshot.workflows,
+            workflow_completions=OrderedDict(snapshot.workflow_completions),
+            workflow_nodes=live_nodes,
+            workflows_admitted=len(snapshot.workflows),
+            workflows_completed=len(snapshot.workflow_completions),
         )
         return kept
 

@@ -270,6 +270,26 @@ def _render_top(health: dict, alerts: list[dict]) -> str:
                 f"{peer.get('free_slots', 0):>6} "
                 f"{peer.get('pending_tasklets', 0):>6} {seen:>8}"
             )
+    workflows = health.get("workflows") or []
+    if workflows:
+        lines.append("")
+        lines.append(
+            f"{'WORKFLOW':<22} {'CONSUMER':<14} {'NODES':>6} {'BLOCK':>6} "
+            f"{'READY':>6} {'RUN':>5} {'DONE':>5} {'FAIL':>5} {'AGE':>8}"
+        )
+        for entry in workflows:
+            states = entry.get("states", {})
+            lines.append(
+                f"{entry.get('workflow_id', '?'):<22} "
+                f"{entry.get('consumer', '?'):<14} "
+                f"{entry.get('nodes', 0):>6} "
+                f"{states.get('blocked', 0):>6} "
+                f"{states.get('ready', 0):>6} "
+                f"{states.get('running', 0):>5} "
+                f"{states.get('done', 0):>5} "
+                f"{states.get('failed', 0):>5} "
+                f"{entry.get('age_s', 0):>7.1f}s"
+            )
     stragglers = health.get("stragglers") or []
     if stragglers:
         lines.append("")
@@ -365,6 +385,11 @@ def _cmd_journal(args: argparse.Namespace) -> int:
                 completion.to_dict()
                 for completion in snapshot.completions.values()
             ],
+            "workflows": snapshot.workflows,
+            "workflow_nodes": snapshot.workflow_nodes,
+            "workflow_completions": list(
+                snapshot.workflow_completions.values()
+            ),
         }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
@@ -389,6 +414,37 @@ def _cmd_journal(args: argparse.Namespace) -> int:
         f"completions: {len(snapshot.completions)} retained "
         f"({ok_count} ok, {len(snapshot.completions) - ok_count} failed)"
     )
+    if snapshot.workflows_admitted or snapshot.workflows_completed:
+        print(
+            f"workflows  : {len(snapshot.workflows)} pending, "
+            f"{len(snapshot.workflow_completions)} completion(s) retained"
+        )
+        for entry in snapshot.workflows:
+            workflow = entry.get("workflow", {})
+            nodes = workflow.get("nodes") or []
+            key = str(entry.get("key", "?"))
+            print(
+                f"  {key:<28} nodes={len(nodes)} ts={entry.get('ts', 0):.3f}"
+            )
+            if args.pending:
+                consumer_id = str(entry.get("consumer_id", ""))
+                workflow_id = str(workflow.get("workflow_id", ""))
+                for node in nodes:
+                    node_id = str(node.get("node_id", "?"))
+                    node_key = f"{consumer_id}/{workflow_id}:{node_id}"
+                    state = snapshot.workflow_node_state(node_key)
+                    print(f"    {node_id:<22} state={state}")
+        for outcome_record in snapshot.workflow_completions.values():
+            outcome = outcome_record.get("outcome", {})
+            verdict = "ok" if outcome.get("ok") else (
+                f"failed at {outcome.get('failed_node', '?')}"
+            )
+            print(
+                f"  {str(outcome_record.get('key', '?')):<28} "
+                f"{verdict} "
+                f"({outcome.get('nodes_total', 0)} nodes, "
+                f"{outcome.get('nodes_memoized', 0)} memoized)"
+            )
     return 0
 
 

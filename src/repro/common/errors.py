@@ -156,6 +156,39 @@ class ResultMismatch(TaskletError):
     """Redundant executions disagreed and no majority could be formed."""
 
 
+class WorkflowError(TaskletError):
+    """Base class for DAG-workflow errors (see :mod:`repro.dag`)."""
+
+
+class WorkflowSpecError(WorkflowError):
+    """A workflow specification is structurally invalid.
+
+    Raised at build/validation time: duplicate or dangling node ids,
+    dependency cycles, unknown program fingerprints, malformed argument
+    placeholders.  Also used when a broker rejects a ``submit_workflow``.
+    """
+
+
+class WorkflowFailed(WorkflowError):
+    """A workflow node exhausted its retries, failing the whole workflow.
+
+    ``node_id`` names the failed node; ``dependents`` lists every
+    downstream node (transitively) that could no longer run because of
+    it.  The broker never executes dependents of a failed node — their
+    inputs do not exist.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node_id: str = "",
+        dependents: list[str] | None = None,
+    ):
+        self.node_id = node_id
+        self.dependents = list(dependents or [])
+        super().__init__(message)
+
+
 class TimeoutExpired(TaskletError):
     """Waiting for a Tasklet result exceeded the caller's deadline."""
 

@@ -15,11 +15,13 @@ import threading
 from dataclasses import dataclass
 
 from ..common.clock import Clock
-from ..common.errors import BrokerUnreachable
+from ..common.errors import BrokerUnreachable, WorkflowFailed, WorkflowSpecError
 from ..common.ids import NodeId, TaskletId
 from ..core.futures import TaskletFuture
 from ..core.results import ExecutionRecord, TaskletResult
 from ..core.tasklet import Tasklet
+from ..dag.handle import WorkflowHandle
+from ..dag.spec import WorkflowSpec
 from ..obs import events as ev
 from ..obs.telemetry import ConsumerMetrics, Telemetry
 from ..obs.trace import TraceContext
@@ -28,7 +30,11 @@ from ..transport.message import (
     Envelope,
     SubmitAck,
     SubmitTasklet,
+    SubmitWorkflow,
     TaskletComplete,
+    WorkflowAck,
+    WorkflowComplete,
+    WorkflowUpdate,
     body_of,
 )
 
@@ -39,6 +45,9 @@ class ConsumerStats:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    workflows_submitted: int = 0
+    workflows_completed: int = 0
+    workflows_failed: int = 0
 
 
 class ConsumerCore:
@@ -64,6 +73,8 @@ class ConsumerCore:
         self._submitted_at: dict[TaskletId, float] = {}
         #: Root trace context per in-flight tasklet (telemetry only).
         self._trace_ctx: dict[TaskletId, TraceContext] = {}
+        #: In-flight DAG workflows by workflow id.
+        self._workflows: dict[str, WorkflowHandle] = {}
 
     # -- submission -----------------------------------------------------------
 
@@ -85,6 +96,68 @@ class ConsumerCore:
         if ctx is not None:
             envelope.trace = ctx.to_dict()
         return future, [envelope]
+
+    def submit_many(
+        self, tasklets: list[Tasklet]
+    ) -> tuple[list[TaskletFuture], list[Envelope]]:
+        """Batch submission: register every future under one lock acquisition.
+
+        Equivalent to calling :meth:`submit` per tasklet but pays the
+        lock / clock / stats overhead once for the whole batch — the fast
+        path for stage-at-a-time workloads (and the naive DAG baseline).
+        """
+        futures: list[TaskletFuture] = []
+        contexts: list[TraceContext | None] = []
+        now = self.clock.now()
+        with self._lock:
+            for tasklet in tasklets:
+                future = TaskletFuture(tasklet.tasklet_id)
+                ctx = (
+                    self._tracer.start_trace()
+                    if self._tracer is not None
+                    else None
+                )
+                self._futures[tasklet.tasklet_id] = future
+                self._submitted_at[tasklet.tasklet_id] = now
+                if ctx is not None:
+                    self._trace_ctx[tasklet.tasklet_id] = ctx
+                futures.append(future)
+                contexts.append(ctx)
+            self.stats.submitted += len(tasklets)
+        if self._metrics is not None and tasklets:
+            self._metrics.submitted.inc(len(tasklets))
+        envelopes: list[Envelope] = []
+        for tasklet, ctx in zip(tasklets, contexts):
+            envelope = SubmitTasklet(tasklet=tasklet.to_dict()).envelope(
+                src=self.node_id, dst=self.broker
+            )
+            if ctx is not None:
+                envelope.trace = ctx.to_dict()
+            envelopes.append(envelope)
+        return futures, envelopes
+
+    def submit_workflow(
+        self, spec: WorkflowSpec
+    ) -> tuple[WorkflowHandle, list[Envelope]]:
+        """Register a handle for a whole DAG and produce its submit message.
+
+        The broker owns the graph from here: node outputs feed successor
+        arguments broker-side, and the handle resolves once on
+        ``workflow_complete`` with the sink-node outputs.
+        """
+        spec.validate()
+        handle = WorkflowHandle(spec.workflow_id)
+        with self._lock:
+            if spec.workflow_id in self._workflows:
+                raise WorkflowSpecError(
+                    f"workflow {spec.workflow_id!r} is already in flight"
+                )
+            self._workflows[spec.workflow_id] = handle
+            self.stats.workflows_submitted += 1
+        envelope = SubmitWorkflow(workflow=spec.to_dict()).envelope(
+            src=self.node_id, dst=self.broker
+        )
+        return handle, [envelope]
 
     def resolve_local(self, tasklet_id: TaskletId, result: TaskletResult) -> None:
         """Resolve a future without broker involvement (local execution)."""
@@ -118,10 +191,19 @@ class ConsumerCore:
             pending = list(self._futures.items())
             submitted = dict(self._submitted_at)
             contexts = dict(self._trace_ctx)
+            workflows = list(self._workflows.values())
             self._futures.clear()
             self._submitted_at.clear()
             self._trace_ctx.clear()
+            self._workflows.clear()
         now = self.clock.now()
+        for handle in workflows:
+            self.stats.workflows_failed += 1
+            handle.fail(
+                BrokerUnreachable(
+                    f"workflow {handle.workflow_id}: {reason}"
+                )
+            )
         if pending and self._events is not None:
             self._events.record(
                 ev.DISCONNECT,
@@ -162,7 +244,55 @@ class ConsumerCore:
         if isinstance(body, TaskletComplete):
             self._on_complete(body)
             return []
+        if isinstance(body, WorkflowAck):
+            if not body.accepted:
+                with self._lock:
+                    handle = self._workflows.pop(body.workflow_id, None)
+                if handle is not None:
+                    self.stats.workflows_failed += 1
+                    handle.fail(
+                        WorkflowSpecError(
+                            f"workflow {body.workflow_id!r} rejected by "
+                            f"broker: {body.reason}"
+                        )
+                    )
+            return []
+        if isinstance(body, WorkflowUpdate):
+            with self._lock:
+                handle = self._workflows.get(body.workflow_id)
+            if handle is not None:
+                handle.node_states[body.node_id] = body.state
+            return []
+        if isinstance(body, WorkflowComplete):
+            self._on_workflow_complete(body)
+            return []
         return []
+
+    def _on_workflow_complete(self, body: WorkflowComplete) -> None:
+        with self._lock:
+            handle = self._workflows.pop(body.workflow_id, None)
+        if handle is None:
+            return  # duplicate terminal message
+        handle.nodes_total = body.nodes_total
+        handle.nodes_memoized = body.nodes_memoized
+        if body.ok:
+            self.stats.workflows_completed += 1
+            for node_id in body.outputs:
+                handle.node_states[node_id] = "done"
+            handle.resolve(body.outputs)
+        else:
+            self.stats.workflows_failed += 1
+            if body.failed_node:
+                handle.node_states[body.failed_node] = "failed"
+            handle.fail(
+                WorkflowFailed(
+                    body.error
+                    or f"workflow {body.workflow_id!r} failed at node "
+                    f"{body.failed_node!r}",
+                    node_id=body.failed_node,
+                    dependents=body.dependents,
+                )
+            )
 
     def _on_complete(self, body: TaskletComplete) -> None:
         tasklet_id = TaskletId(body.tasklet_id)
@@ -270,4 +400,4 @@ class ConsumerCore:
     @property
     def pending(self) -> int:
         with self._lock:
-            return len(self._futures)
+            return len(self._futures) + len(self._workflows)

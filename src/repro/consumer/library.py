@@ -14,8 +14,13 @@ a :class:`Session` (simulated or TCP):
 
 from __future__ import annotations
 
-from typing import Any, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Protocol, Sequence
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..dag.handle import WorkflowHandle
+    from ..dag.spec import WorkflowSpec
+
+from ..common.errors import WorkflowSpecError
 from ..common.ids import IdGenerator
 from ..common.rng import derive_seed
 from ..core.futures import TaskletFuture
@@ -132,6 +137,29 @@ class TaskletLibrary:
             self.submit(program, entry=entry, args=args, qoc=qoc, fuel=fuel)
             for args in args_list
         ]
+
+    def submit_workflow(self, spec: "WorkflowSpec") -> "WorkflowHandle":
+        """Submit a whole DAG of Tasklets in one message.
+
+        The broker owns the graph: it releases nodes as predecessors
+        complete and injects their outputs into successor arguments, so
+        multi-stage pipelines pay no consumer round-trip between stages.
+        The returned :class:`~repro.dag.WorkflowHandle` resolves with the
+        sink-node outputs (``{node_id: value}``), or raises
+        :class:`~repro.common.errors.WorkflowFailed` if a node exhausts
+        its retries.
+
+        Requires a session that supports workflows (the simulator and the
+        TCP consumer both do).
+        """
+        spec.validate()
+        submit = getattr(self.session, "submit_workflow", None)
+        if submit is None:
+            raise WorkflowSpecError(
+                f"session {type(self.session).__name__} does not support "
+                "workflow submission"
+            )
+        return submit(spec)
 
     @staticmethod
     def gather(futures: Sequence[TaskletFuture], timeout: float | None = None) -> list[Any]:

@@ -65,6 +65,11 @@ FORWARD_RECLAIMED = "forward_reclaimed"  # forwarded work taken back (peer lost)
 JOURNAL_HANDOFF = "journal_handoff"  # dead peer's journal adopted by successor
 BROKER_FAILOVER = "broker_failover"  # consumer/provider switched brokers
 FEDERATION_EXHAUSTED = "federation_exhausted"  # every listed broker unreachable
+WORKFLOW_ADMITTED = "workflow_admitted"  # a DAG of tasklets passed admission
+WORKFLOW_NODE_RELEASED = "workflow_node_released"  # deps met, node issued
+WORKFLOW_COMPLETE = "workflow_complete"  # every node done, outputs delivered
+WORKFLOW_FAILED = "workflow_failed"  # a node exhausted retries; graph failed
+WORKFLOW_RECOVERED = "workflow_recovered"  # in-flight DAG resumed from journal
 
 #: Kinds that represent actionable operator alerts (``repro top`` surfaces
 #: these first).
@@ -78,6 +83,7 @@ ALERT_KINDS = frozenset(
         BACKLOG_OVERFLOW,
         PEER_DOWN,
         FEDERATION_EXHAUSTED,
+        WORKFLOW_FAILED,
     }
 )
 

@@ -180,6 +180,30 @@ class FederationMetrics:
         )
 
 
+class WorkflowMetrics:
+    """DAG-workflow families (broker-held dependency scheduling)."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.submitted = registry.counter(
+            "repro_workflows_submitted_total",
+            "Workflow (DAG) submissions admitted or rejected",
+        )
+        self.completed = registry.counter(
+            "repro_workflows_completed_total",
+            "Workflows that reached a terminal state, by outcome",
+            labelnames=("outcome",),
+        )
+        self.nodes = registry.counter(
+            "repro_workflow_nodes_total",
+            "Workflow nodes that reached a terminal state, by outcome",
+            labelnames=("outcome",),
+        )
+        self.active = registry.gauge(
+            "repro_workflows_active",
+            "Workflows admitted and not yet terminal",
+        )
+
+
 class ProviderMetrics:
     """Provider-side families."""
 

@@ -25,6 +25,12 @@ provider re-registers with a fresh incarnation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..broker.journal import WorkJournal
+    from ..dag.handle import WorkflowHandle
+    from ..dag.spec import WorkflowSpec
 
 from ..broker.core import BrokerConfig, BrokerCore
 from ..broker.scheduling import Strategy, make_strategy
@@ -72,6 +78,20 @@ class SimConsumer:
             self.simulation.dispatch(envelope)
         return future
 
+    def submit_batch(self, tasklets: "Sequence[Tasklet]") -> list[TaskletFuture]:
+        """Submit many Tasklets under one core lock acquisition."""
+        futures, envelopes = self.core.submit_many(tasklets)
+        for envelope in envelopes:
+            self.simulation.dispatch(envelope)
+        return futures
+
+    def submit_workflow(self, spec: "WorkflowSpec") -> "WorkflowHandle":
+        """Submit a whole DAG; the broker schedules it stage by stage."""
+        handle, envelopes = self.core.submit_workflow(spec)
+        for envelope in envelopes:
+            self.simulation.dispatch(envelope)
+        return handle
+
     def now(self) -> float:
         return self.simulation.loop.now()
 
@@ -87,6 +107,7 @@ class Simulation:
         broker_config: BrokerConfig | None = None,
         tick_interval: float = 0.5,
         telemetry: Telemetry | None = None,
+        journal: "WorkJournal | None" = None,
     ):
         self.loop = EventLoop()
         self.rng = RngRegistry(seed)
@@ -103,6 +124,7 @@ class Simulation:
             strategy=strategy,
             config=broker_config or BrokerConfig(),
             telemetry=telemetry,
+            journal=journal,
         )
         self.providers: dict[NodeId, _SimProvider] = {}
         self.consumers: dict[NodeId, SimConsumer] = {}
@@ -270,6 +292,7 @@ class Simulation:
         return (
             all(consumer.core.pending == 0 for consumer in self.consumers.values())
             and self.broker.pending_tasklets == 0
+            and self.broker.pending_workflows == 0
         )
 
     def run(self, max_time: float = 1e6) -> float:

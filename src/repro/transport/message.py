@@ -28,6 +28,13 @@ Federation adds broker-to-broker peer messages (see docs/PROTOCOL.md,
     B -> B   FORWARD_TASKLET        place one tasklet on a peer's pool
     B -> B   FORWARD_ACK            peer accepted/rejected the forward
     B -> B   FORWARD_COMPLETE       terminal outcome flows back to origin
+
+Workflows add DAG submission (see docs/PROTOCOL.md, "Workflows"):
+
+    C -> B   SUBMIT_WORKFLOW        whole DAG of tasklets with dependencies
+    B -> C   WORKFLOW_ACK           accepted / rejected (validation)
+    B -> C   WORKFLOW_UPDATE        one node changed state (advisory)
+    B -> C   WORKFLOW_COMPLETE      terminal outcome with sink outputs
 """
 
 from __future__ import annotations
@@ -294,6 +301,76 @@ class TaskletComplete(MessageBody):
     attempts: int = 0
     cost: float = 0.0  # total billed across all executions (cost QoC)
     executions: list[dict[str, Any]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Consumer <-> broker (workflows)
+# ---------------------------------------------------------------------------
+
+
+@_message("submit_workflow")
+@dataclass
+class SubmitWorkflow(MessageBody):
+    """A consumer hands a whole DAG of tasklets to the broker.
+
+    ``workflow`` is a :class:`repro.dag.WorkflowSpec` wire dict: node
+    templates referencing deduplicated program fingerprints, with
+    ``$from``/``$gather`` placeholders in node args naming predecessor
+    outputs.  The broker owns the graph from here — successors are
+    released and their arguments materialised broker-side, with no
+    consumer round-trip between stages.
+    """
+
+    workflow: dict[str, Any]  # WorkflowSpec.to_dict()
+
+
+@_message("workflow_ack")
+@dataclass
+class WorkflowAck(MessageBody):
+    """Broker's admission decision for one submitted workflow."""
+
+    workflow_id: str
+    accepted: bool
+    reason: str = ""
+
+
+@_message("workflow_update")
+@dataclass
+class WorkflowUpdate(MessageBody):
+    """Advisory progress report: one node changed state.
+
+    Sent when a node starts running and when it reaches a terminal
+    state.  Consumers may ignore these; the terminal
+    :class:`WorkflowComplete` carries everything that matters.
+    """
+
+    workflow_id: str
+    node_id: str
+    state: str  # repro.dag node state constant
+    attempts: int = 0
+    error: str | None = None
+
+
+@_message("workflow_complete")
+@dataclass
+class WorkflowComplete(MessageBody):
+    """Terminal outcome of a workflow.
+
+    On success ``outputs`` maps each sink node id to its value.  On
+    failure ``failed_node`` names the node that exhausted its retries
+    and ``dependents`` the downstream nodes that could no longer run.
+    ``nodes_memoized`` counts nodes short-circuited by the broker's
+    result cache (zero executions).
+    """
+
+    workflow_id: str
+    ok: bool
+    outputs: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    failed_node: str = ""
+    dependents: list[str] = field(default_factory=list)
+    nodes_total: int = 0
+    nodes_memoized: int = 0
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,11 @@ import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dag.handle import WorkflowHandle
+    from ..dag.spec import WorkflowSpec
 
 from ..broker.core import BrokerConfig, BrokerCore
 from ..broker.federation import FederationConfig
@@ -1025,26 +1030,46 @@ class TcpConsumer:
     # -- Session protocol ----------------------------------------------------
 
     def submit_tasklet(self, tasklet: Tasklet) -> TaskletFuture:
+        self._check_ready()
+        future, envelopes = self.core.submit(tasklet)
+        self._send_submission(envelopes)
+        return future
+
+    def submit_batch(self, tasklets: Sequence[Tasklet]) -> list[TaskletFuture]:
+        """Submit many Tasklets under one core lock acquisition."""
+        self._check_ready()
+        futures, envelopes = self.core.submit_many(tasklets)
+        self._send_submission(envelopes)
+        return futures
+
+    def submit_workflow(self, spec: "WorkflowSpec") -> "WorkflowHandle":
+        """Submit a whole DAG in one message; the broker owns the graph."""
+        self._check_ready()
+        handle, envelopes = self.core.submit_workflow(spec)
+        self._send_submission(envelopes)
+        return handle
+
+    def _check_ready(self) -> None:
         if self._exhausted is not None:
             raise self._exhausted
         if self._connection is None:
             raise TransportError("consumer not started")
-        future, envelopes = self.core.submit(tasklet)
+
+    def _send_submission(self, envelopes: Sequence[Envelope]) -> None:
         if self._disconnected.is_set():
             # The reader already saw EOF. A send() here could still
             # "succeed" (TCP buffers one write after a peer close), so
-            # don't trust it — fail the future typed right away.
+            # don't trust it — fail the futures typed right away.
             self.core.fail_all_pending("connection to broker lost")
-            return future
+            return
         try:
             for envelope in envelopes:
                 self._connection.send(envelope)
         except ConnectionClosed as exc:
-            # The submission never left this host; the future (and any
+            # The submission never left this host; the futures (and any
             # other pending ones — the connection is dead for all of
-            # them) resolves with a typed error rather than hanging.
+            # them) resolve with a typed error rather than hanging.
             self.core.fail_all_pending(f"send failed: {exc}")
-        return future
 
     def now(self) -> float:
         return self._clock.now()

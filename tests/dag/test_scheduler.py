@@ -1,0 +1,154 @@
+"""DagScheduler state machine and the Task-Bench pattern generators."""
+
+import pytest
+
+from repro.dag.patterns import (
+    butterfly,
+    chain,
+    python_dag_kernel,
+    reference_values,
+    stencil,
+    tree,
+)
+from repro.dag.scheduler import (
+    BLOCKED,
+    DONE,
+    FAILED,
+    READY,
+    RUNNING,
+    DagScheduler,
+)
+from repro.dag.spec import WorkflowBuilder, from_node, gather
+
+SQUARE = "func main(n: int) -> int { return n * n; }"
+
+
+def diamond_scheduler() -> DagScheduler:
+    build = WorkflowBuilder("diamond")
+    build.node(SQUARE, args=[3], node_id="src")
+    build.node(SQUARE, args=[from_node("src")], node_id="left")
+    build.node(SQUARE, args=[from_node("src")], node_id="right")
+    build.node(SQUARE, args=[gather(["left", "right"])], node_id="sink")
+    return DagScheduler(build.build())
+
+
+def test_start_releases_only_sources():
+    scheduler = diamond_scheduler()
+    assert scheduler.start() == ["src"]
+    assert scheduler.state_of("src") == READY
+    assert scheduler.state_of("left") == BLOCKED
+    assert scheduler.counts() == {
+        BLOCKED: 3, READY: 1, RUNNING: 0, DONE: 0, FAILED: 0
+    }
+
+
+def test_complete_releases_dependents():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    scheduler.mark_running("src")
+    released = scheduler.complete("src", 9)
+    assert sorted(released) == ["left", "right"]
+    assert scheduler.state_of("src") == DONE
+    # The sink needs both; completing one branch is not enough.
+    assert scheduler.complete("left", 81) == []
+    assert scheduler.complete("right", 81) == ["sink"]
+
+
+def test_args_of_injects_predecessor_outputs():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    scheduler.complete("src", 9)
+    assert scheduler.args_of("left") == [9]
+    scheduler.complete("left", 81)
+    scheduler.complete("right", 81)
+    assert scheduler.args_of("sink") == [[81, 81]]
+
+
+def test_finished_and_outputs():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    for node, value in [("src", 9), ("left", 81), ("right", 81), ("sink", 1)]:
+        scheduler.complete(node, value)
+    assert scheduler.finished and not scheduler.failed
+    assert scheduler.outputs() == {"sink": 1}
+
+
+def test_fail_cascades_to_transitive_dependents():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    scheduler.complete("src", 9)
+    dependents = scheduler.fail("left")
+    assert dependents == ["sink"]
+    assert scheduler.failed and scheduler.finished
+    assert scheduler.failed_node == "left"
+    # First failure wins.
+    assert scheduler.fail("right") == []
+    assert scheduler.failed_node == "left"
+
+
+def test_complete_is_idempotent_on_done():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    scheduler.complete("src", 9)
+    assert scheduler.complete("src", 9) == []  # no double release
+
+
+def test_invalid_transitions_raise():
+    scheduler = diamond_scheduler()
+    scheduler.start()
+    with pytest.raises(ValueError):
+        scheduler.mark_running("sink")  # still blocked
+    with pytest.raises(ValueError):
+        scheduler.complete("sink", 1)  # blocked node cannot complete
+
+
+# -- patterns ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec, nodes, sinks",
+    [
+        (chain(4), 4, 1),
+        (stencil(4, 3), 12, 4),
+        (tree(2, 3), 15, 1),
+        (butterfly(4), 12, 4),
+    ],
+    ids=["chain", "stencil", "tree", "butterfly"],
+)
+def test_pattern_shapes(spec, nodes, sinks):
+    spec.validate()
+    assert len(spec.nodes) == nodes
+    assert len(spec.sinks()) == sinks
+
+
+def test_reference_values_walk_matches_kernel():
+    spec = chain(3, work=10, salt=2)
+    values = reference_values(spec)
+    expected = python_dag_kernel([2], 10, 2)
+    assert values[spec.topo_order()[0]] == expected
+
+
+def test_butterfly_requires_power_of_two():
+    with pytest.raises(ValueError):
+        butterfly(3)
+
+
+def test_pattern_max_attempts_passthrough():
+    spec = tree(2, 2, max_attempts=3)
+    assert all(node.max_attempts == 3 for node in spec.nodes)
+
+
+def test_scheduler_drives_pattern_to_oracle_values():
+    """Run a whole stencil through the scheduler, no middleware."""
+    spec = stencil(3, 3, work=5)
+    oracle = reference_values(spec)
+    scheduler = DagScheduler(spec)
+    frontier = scheduler.start()
+    while frontier:
+        node_id = frontier.pop()
+        inputs, work, salt = scheduler.args_of(node_id)
+        frontier.extend(
+            scheduler.complete(node_id, python_dag_kernel(list(inputs), work, salt))
+        )
+    assert scheduler.finished
+    assert {n: scheduler.value_of(n) for n in oracle} == oracle

@@ -321,6 +321,115 @@ class TestJournalCli:
         assert "no journal" in capsys.readouterr().err
 
 
+class TestTopWorkflows:
+    def test_render_top_shows_workflow_section(self):
+        from repro.cli import _render_top
+
+        health = {
+            "node": "b1",
+            "status": "ok",
+            "providers_alive": 1,
+            "providers_total": 1,
+            "pending_tasklets": 2,
+            "workflows": [
+                {
+                    "workflow_id": "wf-1",
+                    "consumer": "c1",
+                    "nodes": 4,
+                    "states": {
+                        "blocked": 1,
+                        "ready": 1,
+                        "running": 1,
+                        "done": 1,
+                        "failed": 0,
+                    },
+                    "age_s": 3.5,
+                }
+            ],
+        }
+        screen = _render_top(health, alerts=[])
+        assert "WORKFLOW" in screen and "CONSUMER" in screen
+        line = next(row for row in screen.splitlines() if "wf-1" in row)
+        assert "c1" in line
+        assert "3.5s" in line
+
+    def test_render_top_omits_section_without_workflows(self):
+        from repro.cli import _render_top
+
+        screen = _render_top({"node": "b1", "status": "ok"}, alerts=[])
+        assert "WORKFLOW" not in screen
+
+
+@pytest.fixture
+def workflow_journal_file(tmp_path):
+    """A journal with one in-flight and one completed workflow."""
+    from repro.broker.journal import CompletionRecord, WorkJournal
+
+    path = tmp_path / "journal.jsonl"
+    journal = WorkJournal(str(path))
+    spec = {
+        "workflow_id": "wf-live",
+        "nodes": [{"node_id": "a"}, {"node_id": "b"}],
+        "programs": {},
+    }
+    journal.record_workflow_admitted("c1/wf-live", "c1", spec, ts=1.0)
+    journal.record_admitted(
+        "c1/wf-live:a",
+        "c1",
+        {"tasklet_id": "wf-live:a", "entry": "main", "args": []},
+        ts=1.1,
+        workflow="c1/wf-live",
+    )
+    journal.record_complete(
+        CompletionRecord(
+            key="c1/wf-live:a",
+            tasklet_id="wf-live:a",
+            consumer_id="c1",
+            ok=True,
+            value=9,
+        )
+    )
+    journal.record_workflow_complete(
+        "c1/wf-done",
+        {
+            "ok": True,
+            "workflow_id": "wf-done",
+            "outputs": {"sink": 3},
+            "nodes_total": 2,
+            "nodes_memoized": 1,
+        },
+        ts=2.0,
+    )
+    journal.close()
+    return str(path)
+
+
+class TestJournalCliWorkflows:
+    def test_table_lists_workflows_and_node_states(
+        self, workflow_journal_file, capsys
+    ):
+        assert main(["journal", workflow_journal_file, "--pending"]) == 0
+        out = capsys.readouterr().out
+        assert "workflows  : 1 pending, 1 completion(s) retained" in out
+        assert "c1/wf-live" in out
+        assert "nodes=2" in out
+        # Node a completed, node b was never released.
+        assert "state=done" in out
+        assert "state=waiting" in out
+        assert "c1/wf-done" in out
+        assert "ok (2 nodes, 1 memoized)" in out
+
+    def test_json_carries_workflow_records(self, workflow_journal_file, capsys):
+        assert main(["journal", workflow_journal_file, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [w["key"] for w in document["workflows"]] == ["c1/wf-live"]
+        assert [n["key"] for n in document["workflow_nodes"]] == ["c1/wf-live:a"]
+        outcome = document["workflow_completions"][0]["outcome"]
+        assert outcome["outputs"] == {"sink": 3}
+        # Workflow node admissions never show up as plain pending work.
+        assert document["pending"] == []
+
+
 class TestReport:
     def test_report_single_experiment(self, tmp_path, capsys):
         out = str(tmp_path / "EXP.md")

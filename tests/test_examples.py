@@ -40,6 +40,11 @@ def test_edge_offloading(capsys):
     assert "OK - all bursts completed" in out
 
 
+def test_pipelined_map_reduce(capsys):
+    out = run_example("pipelined_map_reduce.py", capsys)
+    assert "OK - pipeline verified" in out
+
+
 @pytest.mark.skipif(
     sys.platform != "linux", reason="multiprocessing example tuned for linux CI"
 )

@@ -24,8 +24,12 @@ from repro.transport.message import (
     RegisterProvider,
     SubmitAck,
     SubmitTasklet,
+    SubmitWorkflow,
     TaskletComplete,
     Unregister,
+    WorkflowAck,
+    WorkflowComplete,
+    WorkflowUpdate,
     body_of,
 )
 
@@ -96,6 +100,33 @@ SAMPLE_BODIES = [
         cost=0.5,
         executions=[{"execution_id": "ex-1"}],
         executed_by="broker-b",
+    ),
+    SubmitWorkflow(
+        workflow={
+            "workflow_id": "wf-1",
+            "nodes": [{"node_id": "a", "program_fingerprint": "abc123"}],
+            "programs": {"abc123": {"version": 1}},
+        }
+    ),
+    WorkflowAck(workflow_id="wf-1", accepted=True),
+    WorkflowAck(workflow_id="wf-1", accepted=False, reason="duplicate"),
+    WorkflowUpdate(
+        workflow_id="wf-1", node_id="a", state="running", attempts=1
+    ),
+    WorkflowComplete(
+        workflow_id="wf-1",
+        ok=True,
+        outputs={"b": 9},
+        nodes_total=2,
+        nodes_memoized=1,
+    ),
+    WorkflowComplete(
+        workflow_id="wf-2",
+        ok=False,
+        error="node a exhausted retries",
+        failed_node="a",
+        dependents=["b", "c"],
+        nodes_total=3,
     ),
 ]
 
