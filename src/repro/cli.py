@@ -227,6 +227,19 @@ def _render_top(health: dict, alerts: list[dict]) -> str:
             pending=health.get("pending_tasklets", "?"),
         )
     ]
+    transport = health.get("transport") or {}
+    if transport:
+        codecs = transport.get("codecs") or {}
+        mix = (
+            " ".join(
+                f"{codec}:{count}" for codec, count in sorted(codecs.items())
+            )
+            or "-"
+        )
+        lines.append(
+            f"transport: {transport.get('loop', '?')}  "
+            f"connections={transport.get('connections', 0)}  codecs=[{mix}]"
+        )
     providers = health.get("providers") or []
     if providers:
         lines.append("")

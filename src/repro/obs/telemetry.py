@@ -274,13 +274,17 @@ class TransportMetrics:
     def __init__(self, registry: MetricsRegistry):
         self.bytes = registry.counter(
             "repro_transport_bytes_total",
-            "Framed bytes moved over TCP, by direction",
-            labelnames=("direction",),
+            "Framed bytes moved over TCP, by direction and wire codec",
+            labelnames=("direction", "codec"),
         )
         self.messages = registry.counter(
             "repro_transport_messages_total",
-            "Envelopes moved over TCP, by direction",
-            labelnames=("direction",),
+            "Envelopes moved over TCP, by direction and wire codec",
+            labelnames=("direction", "codec"),
+        )
+        self.flushes = registry.counter(
+            "repro_transport_flushes_total",
+            "Coalesced socket writes (messages/flushes = mean batch size)",
         )
         self.connections = registry.gauge(
             "repro_transport_connections",

@@ -1,0 +1,445 @@
+"""Wire codecs: negotiated binary framing next to the JSON debug fallback.
+
+Every frame on a TCP link is ``4-byte big-endian length || body``.  The
+first body byte makes each frame self-describing:
+
+* ``0x7B`` (``{``) — the legacy UTF-8 JSON encoding of
+  ``Envelope.to_dict()`` (see :mod:`repro.common.serde`); every peer can
+  read and write it, which makes it the negotiation-free fallback.
+* ``0xB1`` — the compact binary codec defined here (``bin1``): a one-byte
+  message-type tag, varint/struct-packed envelope header, and — for the
+  hot message types — *field-packed* bodies that drop the JSON key
+  strings entirely (field order is the dataclass field order, pinned by
+  :data:`FIELD_TABLES`).
+
+Because decoding is self-describing, a receiver never needs negotiation:
+:class:`EnvelopeDecoder` handles both codecs on one stream, frame by
+frame.  Negotiation (the ``hello``/``register`` handshake, see
+``docs/PROTOCOL.md`` "Wire format") only gates what a sender may *emit*:
+binary is sent exclusively to peers that advertised it.
+
+The value encoding is deliberately the same closed set as the JSON layer
+(None, bool, int, float, str, bytes, list, str-keyed dict) with the same
+reserved-key rule, so any payload that round-trips one codec round-trips
+the other bit-identically — the property the codec test suite enforces
+for every registered message type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Iterator
+
+from ..common.errors import CodecError, TransportError
+from ..common.ids import NodeId
+from ..common.serde import MAX_FRAME_BYTES, loads, pack_frame
+from .message import MESSAGE_TYPES, Envelope
+
+#: Codec names as they appear in hello handshakes and metric labels.
+CODEC_JSON = "json"
+CODEC_BINARY = "bin1"
+
+#: Codecs this build can decode, in sender-preference order.
+SUPPORTED_CODECS: tuple[str, ...] = (CODEC_BINARY, CODEC_JSON)
+
+#: First body byte of a binary frame.  JSON bodies always start with
+#: ``{`` (0x7B), so the two encodings can never be confused.
+MAGIC_BINARY = 0xB1
+
+_HEADER = struct.Struct(">I")
+_FLOAT = struct.Struct(">d")
+
+#: Stable one-byte wire tags for registered message types.  Tag 0 is the
+#: generic escape: the type name travels as a string (forward
+#: compatibility for types minted after this table was frozen).
+WIRE_TAGS: dict[str, int] = {
+    "register_provider": 1,
+    "register_ack": 2,
+    "unregister": 3,
+    "heartbeat": 4,
+    "heartbeat_ack": 5,
+    "assign_execution": 6,
+    "execution_result": 7,
+    "execution_rejected": 8,
+    "cancel_execution": 9,
+    "submit_tasklet": 10,
+    "submit_ack": 11,
+    "tasklet_complete": 12,
+    "submit_workflow": 13,
+    "workflow_ack": 14,
+    "workflow_update": 15,
+    "workflow_complete": 16,
+    "peer_hello": 17,
+    "gossip_digest": 18,
+    "forward_tasklet": 19,
+    "forward_ack": 20,
+    "forward_complete": 21,
+    "hello": 22,
+    "hello_ack": 23,
+}
+_TAG_TO_TYPE = {tag: name for name, tag in WIRE_TAGS.items()}
+
+#: Message types whose bodies are field-packed (keys omitted on the
+#: wire).  These are the hot-path messages; everything else ships its
+#: payload as a packed dict.  Field order comes from the dataclass
+#: definition, which is therefore part of the ``bin1`` wire contract —
+#: changing it means minting ``bin2``.
+_PACKED_TYPE_NAMES = (
+    "heartbeat",
+    "heartbeat_ack",
+    "assign_execution",
+    "execution_result",
+    "execution_rejected",
+    "cancel_execution",
+    "submit_tasklet",
+    "submit_ack",
+    "tasklet_complete",
+)
+FIELD_TABLES: dict[str, tuple[str, ...]] = {
+    name: tuple(f.name for f in dataclasses.fields(MESSAGE_TYPES[name]))
+    for name in _PACKED_TYPE_NAMES
+}
+
+_FLAG_TRACE = 0x01
+_FLAG_FIELD_PACKED = 0x02
+
+
+def choose_codec(offered) -> str:
+    """Pick the preferred mutually-supported codec; JSON if none match."""
+    for codec in SUPPORTED_CODECS:
+        if codec in offered:
+            return codec
+    return CODEC_JSON
+
+
+# ---------------------------------------------------------------------------
+# Value packing (tag byte + varint-framed payloads)
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+
+
+def _pack_varint(n: int, out: bytearray) -> None:
+    if n < 0x80:  # the overwhelmingly common case: one byte
+        out.append(n)
+        return
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _unpack_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    try:
+        byte = buf[pos]
+    except IndexError:
+        raise CodecError("truncated varint") from None
+    pos += 1
+    if not byte & 0x80:  # single-byte fast path
+        return byte, pos
+    result = byte & 0x7F
+    shift = 7
+    while True:
+        if pos >= len(buf):
+            raise CodecError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _pack_str(text: str, out: bytearray) -> None:
+    data = text.encode("utf-8")
+    _pack_varint(len(data), out)
+    out += data
+
+
+def _unpack_str(buf: bytes, pos: int) -> tuple[str, int]:
+    length, pos = _unpack_varint(buf, pos)
+    end = pos + length
+    if end > len(buf):
+        raise CodecError("truncated string")
+    try:
+        return buf[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"bad utf-8 on the wire: {exc}") from exc
+
+
+def pack_value(value: Any, out: bytearray) -> None:
+    """Append the binary encoding of ``value`` to ``out``.
+
+    The accepted type set (and the reserved ``__x__`` dict-key rule) is
+    identical to :func:`repro.common.serde.encode_value`, so a payload is
+    binary-encodable exactly when it is JSON-encodable.
+    """
+    # Hot path first: payload fields are mostly strings and small ints.
+    if isinstance(value, str):
+        out.append(_T_STR)
+        data = value.encode("utf-8")
+        _pack_varint(len(data), out)
+        out += data
+    elif value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        # Zigzag maps signed to unsigned; the varint then handles
+        # arbitrary-precision Python ints without a separate bigint tag.
+        _pack_varint(value << 1 if value >= 0 else ((-value) << 1) - 1, out)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _FLOAT.pack(value)
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        _pack_varint(len(value), out)
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        _pack_varint(len(value), out)
+        for item in value:
+            pack_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _pack_varint(len(value), out)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            if key.startswith("__") and key.endswith("__"):
+                raise CodecError(f"reserved key name {key!r}")
+            _pack_str(key, out)
+            pack_value(item, out)
+    else:
+        raise CodecError(f"unsupported value type {type(value).__name__}")
+
+
+def unpack_value(buf: bytes, pos: int) -> tuple[Any, int]:
+    """Decode one value at ``pos``; returns ``(value, next_pos)``."""
+    try:
+        tag = buf[pos]
+    except IndexError:
+        raise CodecError("truncated value") from None
+    pos += 1
+    if tag == _T_STR:  # hot path: payload fields are mostly strings
+        return _unpack_str(buf, pos)
+    if tag == _T_INT:
+        zigzag, pos = _unpack_varint(buf, pos)
+        return (zigzag >> 1) if not zigzag & 1 else -((zigzag + 1) >> 1), pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FLOAT:
+        end = pos + _FLOAT.size
+        if end > len(buf):
+            raise CodecError("truncated float")
+        return _FLOAT.unpack_from(buf, pos)[0], end
+    if tag == _T_BYTES:
+        length, pos = _unpack_varint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated bytes")
+        return bytes(buf[pos:end]), end
+    if tag == _T_LIST:
+        count, pos = _unpack_varint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = unpack_value(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        count, pos = _unpack_varint(buf, pos)
+        result: dict[str, Any] = {}
+        for _ in range(count):
+            key, pos = _unpack_str(buf, pos)
+            result[key], pos = unpack_value(buf, pos)
+        return result, pos
+    raise CodecError(f"unknown value tag 0x{tag:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Envelope encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_envelope(envelope: Envelope, codec: str = CODEC_JSON) -> bytes:
+    """Serialise one envelope to a complete length-prefixed frame."""
+    if codec == CODEC_JSON:
+        return pack_frame(envelope.to_dict())
+    if codec != CODEC_BINARY:
+        raise CodecError(f"unknown codec {codec!r}")
+    body = bytearray((MAGIC_BINARY,))
+    tag = WIRE_TAGS.get(envelope.type, 0)
+    body.append(tag)
+    if tag == 0:
+        _pack_str(envelope.type, body)
+    # NodeId subclasses str, so src/dst pack without a copy.
+    _pack_str(envelope.src, body)
+    _pack_str(envelope.dst, body)
+    _pack_varint(envelope.seq, body)
+    fields = FIELD_TABLES.get(envelope.type)
+    payload = envelope.payload
+    # Field-pack only when the payload carries exactly the pinned field
+    # set; anything else (hand-built payloads, future extra keys) falls
+    # back to the keyed dict form so nothing is silently dropped.
+    packed = fields is not None and len(payload) == len(fields) and all(
+        name in payload for name in fields
+    )
+    flags = 0
+    if envelope.trace is not None:
+        flags |= _FLAG_TRACE
+    if packed:
+        flags |= _FLAG_FIELD_PACKED
+    body.append(flags)
+    if envelope.trace is not None:
+        pack_value(envelope.trace, body)
+    if packed:
+        for name in fields:  # type: ignore[union-attr]
+            pack_value(payload[name], body)
+    else:
+        pack_value(payload, body)
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large: {len(body)} bytes")
+    return _HEADER.pack(len(body)) + bytes(body)
+
+
+def decode_binary_body(body: bytes) -> Envelope:
+    """Decode one binary frame body (starting at the magic byte)."""
+    if not body or body[0] != MAGIC_BINARY:
+        raise CodecError("not a binary frame")
+    pos = 1
+    if pos >= len(body):
+        raise CodecError("truncated binary envelope")
+    tag = body[pos]
+    pos += 1
+    if tag == 0:
+        type_name, pos = _unpack_str(body, pos)
+    else:
+        type_name = _TAG_TO_TYPE.get(tag)
+        if type_name is None:
+            raise CodecError(f"unknown message tag 0x{tag:02x}")
+    src, pos = _unpack_str(body, pos)
+    dst, pos = _unpack_str(body, pos)
+    seq, pos = _unpack_varint(body, pos)
+    if pos >= len(body):
+        raise CodecError("truncated binary envelope")
+    flags = body[pos]
+    pos += 1
+    trace = None
+    if flags & _FLAG_TRACE:
+        trace, pos = unpack_value(body, pos)
+        if not isinstance(trace, dict):
+            raise CodecError("trace must be a dict")
+    if flags & _FLAG_FIELD_PACKED:
+        fields = FIELD_TABLES.get(type_name)
+        if fields is None:
+            raise CodecError(f"no field table for {type_name!r}")
+        payload = {}
+        for name in fields:
+            payload[name], pos = unpack_value(body, pos)
+    else:
+        payload, pos = unpack_value(body, pos)
+        if not isinstance(payload, dict):
+            raise CodecError("payload must be a dict")
+    if pos != len(body):
+        raise CodecError(f"{len(body) - pos} trailing bytes in frame")
+    return Envelope(
+        type=type_name,
+        src=NodeId(src),
+        dst=NodeId(dst),
+        payload=payload,
+        seq=seq,
+        trace=trace,
+    )
+
+
+def decode_body(body: bytes) -> tuple[Envelope, str]:
+    """Decode one frame body of either codec; returns the codec seen."""
+    if body[:1] == bytes((MAGIC_BINARY,)):
+        return decode_binary_body(body), CODEC_BINARY
+    return Envelope.from_dict(loads(body)), CODEC_JSON
+
+
+class EnvelopeDecoder:
+    """Incremental dual-codec frame decoder for one byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; complete envelopes come back
+    in order as ``(envelope, codec, frame_bytes)`` so the transport can
+    attribute byte/message counters per codec.  Raises
+    :class:`~repro.common.errors.TransportError` (or its
+    :class:`~repro.common.errors.CodecError` subclass) on garbage — the
+    caller treats the connection as broken, exactly like the JSON-only
+    reader did.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> list[tuple[Envelope, str, int]]:
+        self._buffer.extend(chunk)
+        frames: list[tuple[Envelope, str, int]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"incoming frame too large: {length} bytes")
+            total = _HEADER.size + length
+            if len(self._buffer) < total:
+                return frames
+            body = bytes(self._buffer[_HEADER.size:total])
+            del self._buffer[:total]
+            envelope, codec = decode_body(body)
+            frames.append((envelope, codec, total))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def iter_frames(data: bytes) -> Iterator[Envelope]:
+    """Decode a complete byte string of frames (tests and tools)."""
+    decoder = EnvelopeDecoder()
+    for envelope, _codec, _size in decoder.feed(data):
+        yield envelope
+    if decoder.pending_bytes:
+        raise TransportError(f"{decoder.pending_bytes} trailing bytes")
+
+
+#: Type of the optional per-envelope flush hook: called with the
+#: envelope immediately before encoding, at actual flush time.  Used to
+#: stamp ``Heartbeat.sent_at`` so write coalescing cannot skew RTTs.
+Stamp = Callable[[Envelope], None]
+
+
+def encode_batch(
+    batch: list[tuple[Envelope, Stamp | None]], codec: str
+) -> bytes:
+    """Encode a coalesced write: many envelopes, one byte string."""
+    chunks: list[bytes] = []
+    for envelope, stamp in batch:
+        if stamp is not None:
+            stamp(envelope)
+        chunks.append(encode_envelope(envelope, codec))
+    return b"".join(chunks)

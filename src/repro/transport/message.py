@@ -40,7 +40,7 @@ Workflows add DAG submission (see docs/PROTOCOL.md, "Workflows"):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, ClassVar, Type
 
 from ..common.errors import TransportError
@@ -122,6 +122,13 @@ class MessageBody:
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "MessageBody":
+        # Unknown-field tolerance: a newer peer may send fields this
+        # version does not know.  Dropping them (instead of raising) is
+        # what lets mixed-version clusters — and the codec-negotiation
+        # fields added over time — interoperate.
+        known = {f.name for f in fields(cls)}
+        if payload.keys() - known:
+            payload = {k: v for k, v in payload.items() if k in known}
         return cls(**payload)
 
     def envelope(self, src: NodeId, dst: NodeId) -> Envelope:
@@ -151,6 +158,39 @@ def body_of(envelope: Envelope) -> MessageBody:
         raise TransportError(
             f"malformed {envelope.type} payload: {exc}"
         ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Transport-level (any peer <-> broker)
+# ---------------------------------------------------------------------------
+
+
+@_message("hello")
+@dataclass
+class Hello(MessageBody):
+    """Transport handshake: the dialing peer's first message.
+
+    ``codecs`` lists every wire codec the sender can *decode*, in
+    preference order (see :mod:`repro.transport.codec`).  A broker that
+    understands the hello answers with :class:`HelloAck` naming the
+    codec it chose; both sides may then switch their *send* direction to
+    it.  A peer that never sends (or never answers) a hello simply stays
+    on length-prefixed JSON — the handshake is advisory, which is what
+    lets old and new peers share a cluster.
+    """
+
+    node_id: str
+    codecs: list[str] = field(default_factory=list)
+    role: str = ""  # "provider" | "consumer" | "broker" (diagnostic only)
+
+
+@_message("hello_ack")
+@dataclass
+class HelloAck(MessageBody):
+    """Broker's answer to a :class:`Hello`: the negotiated codec."""
+
+    codec: str
+    codecs: list[str] = field(default_factory=list)  # what the broker accepts
 
 
 # ---------------------------------------------------------------------------

@@ -1,19 +1,28 @@
 """Real TCP deployment of the Tasklet middleware.
 
-The same sans-IO cores used by the simulator run here behind threaded
-socket plumbing:
+The same sans-IO cores used by the simulator run here behind real
+sockets:
 
-* :class:`TcpBroker` — accepts connections from providers and consumers;
-  one reader thread per connection feeds :class:`BrokerCore` (behind a
-  lock), outbound envelopes are routed by destination node id;
+* :class:`TcpBroker` — a **single-threaded asyncio event loop** (see
+  :mod:`repro.transport.aio`) serving every peer — providers, consumers,
+  and federation peer brokers — with one reader/writer pair per
+  connection instead of a thread per connection.  Outbound envelopes are
+  write-coalesced: everything routed while a previous flush is draining
+  goes out in one socket write.
 * :class:`TcpProvider` — connects, self-benchmarks, registers, executes
   assignments on a pool of worker threads, heartbeats periodically;
 * :class:`TcpConsumer` — a :class:`~repro.consumer.library.Session` over a
   broker connection, so ``TaskletLibrary`` works unchanged.
 
+Framing is the dual-codec format of :mod:`repro.transport.codec`: every
+connection starts on length-prefixed JSON; a ``hello`` handshake
+negotiates the compact ``bin1`` binary codec per link (JSON remains the
+debug fallback and the interop path for old peers).  Receivers decode
+both codecs frame-by-frame, so negotiation never races decoding.
+
 For *parallel* scaling on one machine (experiment F8) use
-:func:`spawn_provider_process`: each provider lives in its own OS process,
-so TVM execution escapes the GIL.
+:func:`spawn_provider_processes`: each provider lives in its own OS
+process, so TVM execution escapes the GIL.
 
 Connection lifecycle (documented in detail in ``docs/PROTOCOL.md``):
 
@@ -26,20 +35,20 @@ Connection lifecycle (documented in detail in ``docs/PROTOCOL.md``):
   incarnation's executions so re-issue happens immediately.
 * ``TcpProvider.stop(drain=True)`` rejects new assignments, finishes
   in-flight executions, flushes their results, and only then
-  unregisters; all stop paths wake their loops through real stop events
-  so shutdown returns promptly instead of sleeping out an interval.
-
-Framing is the 4-byte-length-prefixed JSON of :mod:`repro.common.serde`.
+  unregisters; results and the unregister share one FIFO send queue, so
+  the unregister can never overtake the final result on the wire.
 """
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import random
 import socket
 import threading
 import time
 import uuid
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -58,7 +67,6 @@ from ..common.errors import (
     TransportError,
 )
 from ..common.ids import IdGenerator, NodeId, random_id
-from ..common.serde import FrameReader, pack_frame
 from ..consumer.core import ConsumerCore
 from ..consumer.library import TaskletLibrary
 from ..core.futures import TaskletFuture
@@ -69,6 +77,15 @@ from ..obs.telemetry import ProviderMetrics, Telemetry, TransportMetrics
 from ..obs.trace import TraceContext
 from ..provider.benchmark import run_benchmark
 from ..provider.executor import PROGRAM_CACHE_SIZE, TaskletExecutor
+from ..transport.aio import AioConnection, LoopThread
+from ..transport.codec import (
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    EnvelopeDecoder,
+    Stamp,
+    choose_codec,
+    encode_batch,
+)
 from ..transport.message import (
     AssignExecution,
     BROKER_ADDRESS,
@@ -78,6 +95,8 @@ from ..transport.message import (
     ExecutionResult,
     Heartbeat,
     HeartbeatAck,
+    Hello,
+    HelloAck,
     PeerHello,
     REASON_UNKNOWN_PROVIDER,
     RegisterAck,
@@ -89,39 +108,92 @@ from ..transport.message import (
 _RECV_CHUNK = 65536
 
 
-class _Connection:
-    """One framed, thread-safe TCP connection.
+def _offered_codecs(codec: str) -> tuple[str, ...]:
+    """Map the ``codec=`` tuning knob onto an advertised-codec list."""
+    if codec == "json":
+        return (CODEC_JSON,)
+    if codec in ("binary", "auto"):
+        return SUPPORTED_CODECS
+    raise ValueError(f"codec must be 'binary' or 'json', got {codec!r}")
 
-    ``metrics`` is an optional :class:`TransportMetrics` bundle; when
-    attached, framed bytes and envelope counts are reported per direction.
+
+class _Connection:
+    """One framed, thread-safe TCP connection (client side).
+
+    Writes are *coalesced* through a combining lock: ``send`` enqueues
+    and, if no other thread is currently flushing, becomes the flusher —
+    draining everything queued (its own envelope plus whatever piled up
+    behind a slow ``sendall``) into one socket write.  Contending threads
+    just enqueue and return, so a heartbeat never blocks behind a large
+    result payload; their envelopes ride the active flusher's next batch
+    in FIFO order.
+
+    Per-envelope ``stamp`` hooks run at flush time, immediately before
+    encoding — that keeps ``Heartbeat.sent_at`` honest under coalescing.
+
+    ``metrics`` is an optional :class:`TransportMetrics` bundle; framed
+    bytes and envelope counts are reported per direction and codec.
     """
 
     def __init__(
         self, sock: socket.socket, metrics: TransportMetrics | None = None
     ):
         self.sock = sock
-        self.reader = FrameReader()
+        self.decoder = EnvelopeDecoder()
+        #: Codec for the send direction; flipped by the hello handshake.
+        self.send_codec = CODEC_JSON
         self._send_lock = threading.Lock()
+        self._queue: deque[tuple[Envelope, Stamp | None]] = deque()
+        self._flushing = False
+        self._closed = False
         self._metrics = metrics
         self.peer_id: NodeId | None = None  # learned from first envelope
 
-    def send(self, envelope: Envelope) -> None:
-        data = pack_frame(envelope.to_dict())
+    def send(self, envelope: Envelope, stamp: Stamp | None = None) -> None:
+        self.send_many(((envelope, stamp),))
+
+    def send_many(
+        self, entries: Sequence[tuple[Envelope, Stamp | None]]
+    ) -> None:
+        """Enqueue envelopes and flush unless another thread already is."""
         with self._send_lock:
-            try:
+            if self._closed:
+                raise ConnectionClosed("connection closed")
+            self._queue.extend(entries)
+            if self._flushing:
+                return  # the active flusher drains our entries too
+            self._flushing = True
+        try:
+            while True:
+                with self._send_lock:
+                    if not self._queue:
+                        self._flushing = False
+                        return
+                    batch = list(self._queue)
+                    self._queue.clear()
+                    codec = self.send_codec
+                data = encode_batch(batch, codec)
                 self.sock.sendall(data)
-            except OSError as exc:
-                raise ConnectionClosed(f"send failed: {exc}") from exc
-        if self._metrics is not None:
-            self._metrics.bytes.labels(direction="out").inc(len(data))
-            self._metrics.messages.labels(direction="out").inc()
+                if self._metrics is not None:
+                    self._metrics.bytes.labels(
+                        direction="out", codec=codec
+                    ).inc(len(data))
+                    self._metrics.messages.labels(
+                        direction="out", codec=codec
+                    ).inc(len(batch))
+                    self._metrics.flushes.inc()
+        except OSError as exc:
+            with self._send_lock:
+                self._flushing = False
+                self._queue.clear()
+            raise ConnectionClosed(f"send failed: {exc}") from exc
 
     def recv_envelopes(self) -> list[Envelope] | None:
         """Block for data; completed envelopes, or ``None`` on EOF/garbage.
 
         A peer that sends undecodable bytes is indistinguishable from a
         broken one: the connection is reported dead (``None``) and the
-        caller drops it.  One bad client must never take down the node.
+        caller drops it.  One bad peer must never take down the node.
         """
         try:
             chunk = self.sock.recv(_RECV_CHUNK)
@@ -130,18 +202,23 @@ class _Connection:
         if not chunk:
             return None
         try:
-            envelopes = [
-                Envelope.from_dict(frame) for frame in self.reader.feed(chunk)
-            ]
+            frames = self.decoder.feed(chunk)
         except TransportError:
             return None
-        if self._metrics is not None:
-            self._metrics.bytes.labels(direction="in").inc(len(chunk))
-            if envelopes:
-                self._metrics.messages.labels(direction="in").inc(len(envelopes))
-        return envelopes
+        if self._metrics is not None and frames:
+            for _envelope, codec, size in frames:
+                self._metrics.bytes.labels(direction="in", codec=codec).inc(
+                    size
+                )
+                self._metrics.messages.labels(
+                    direction="in", codec=codec
+                ).inc()
+        return [envelope for envelope, _codec, _size in frames]
 
     def close(self) -> None:
+        with self._send_lock:
+            self._closed = True
+            self._queue.clear()
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -162,15 +239,22 @@ def _connect(
 
 
 class TcpBroker:
-    """The broker as a TCP server (see module docstring).
+    """The broker as an asyncio TCP server (see module docstring).
+
+    One event-loop thread owns every connection: acceptance, reads,
+    coalesced writes, the periodic tick, and the federation peer dials.
+    ``codec='binary'`` (the default) negotiates the compact binary wire
+    codec with every peer that advertises it; ``codec='json'`` pins the
+    debug fallback for the whole node.
 
     Federation: pass ``broker_id`` plus ``peers`` (peer broker id ->
     ``(host, port)``) to join a static peer set.  The broker dials every
-    peer (with backoff), introduces itself with a ``PeerHello``, and the
-    shared reader loop routes gossip/forward traffic into the core like
-    any other connection.  ``peer_journals`` (peer id -> journal path)
-    additionally enables journal handoff: when a peer is declared dead
-    and this broker is its successor, the peer's journal is adopted.
+    peer (with backoff), introduces itself with a transport ``hello``
+    followed by a ``PeerHello``, and the shared reader path routes
+    gossip/forward traffic into the core like any other connection.
+    ``peer_journals`` (peer id -> journal path) additionally enables
+    journal handoff: when a peer is declared dead and this broker is its
+    successor, the peer's journal is adopted.
     """
 
     def __init__(
@@ -190,8 +274,10 @@ class TcpBroker:
         peers: dict[str, tuple[str, int]] | None = None,
         peer_journals: dict[str, str] | None = None,
         gossip_interval: float = 1.0,
+        codec: str = "binary",
     ):
         self.config = config or BrokerConfig()
+        self._offered = _offered_codecs(codec)
         if obs_port is not None and telemetry is None:
             # An observability endpoint is useless without telemetry;
             # asking for one implies opting in.
@@ -239,18 +325,22 @@ class TcpBroker:
             federation=federation,
         )
         self._core_lock = threading.Lock()
-        self._connections: dict[NodeId, _Connection] = {}
-        #: Every accepted connection, registered or not, so ``stop`` can
-        #: close them all and wake their reader threads promptly.
-        self._accepted: set[_Connection] = set()
+        self._connections: dict[NodeId, AioConnection] = {}
+        #: Every live connection, registered or not, so ``stop`` can
+        #: close them all promptly.
+        self._accepted: set[AioConnection] = set()
         self._connections_lock = threading.Lock()
+        # The listener is bound synchronously so ``address`` is valid
+        # immediately (and bind failures raise here, where the restart
+        # retry loops expect them); asyncio adopts the socket at start.
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(128)
         self._running = threading.Event()
-        self._stop_event = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._aio: LoopThread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: list[asyncio.Task] = []
         self.obs: ObsServer | None = (
             ObsServer(
                 telemetry,
@@ -271,64 +361,48 @@ class TcpBroker:
 
     def _health_document(self) -> dict:
         with self._core_lock:
-            return self.core.health_snapshot()
+            document = self.core.health_snapshot()
+        with self._connections_lock:
+            connections = list(self._accepted)
+        codecs: dict[str, int] = {}
+        for connection in connections:
+            codecs[connection.send_codec] = (
+                codecs.get(connection.send_codec, 0) + 1
+            )
+        document["transport"] = {
+            "loop": "asyncio",
+            "connections": len(connections),
+            "codecs": codecs,
+        }
+        return document
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "TcpBroker":
         self._running.set()
-        self._stop_event.clear()
         if self.obs is not None:
             self.obs.start()
-        accept_thread = threading.Thread(
-            target=self._accept_loop, name="broker-accept", daemon=True
-        )
-        tick_thread = threading.Thread(
-            target=self._tick_loop, name="broker-tick", daemon=True
-        )
-        self._threads += [accept_thread, tick_thread]
-        accept_thread.start()
-        tick_thread.start()
-        for peer_id, (peer_host, peer_port) in self._peer_addresses.items():
-            peer_thread = threading.Thread(
-                target=self._peer_loop,
-                args=(peer_id, peer_host, peer_port),
-                name=f"broker-peer-{peer_id}",
-                daemon=True,
-            )
-            self._threads.append(peer_thread)
-            peer_thread.start()
+        self._aio = LoopThread("broker-aio").start()
+        self._aio.submit(self._start_on_loop()).result(timeout=10.0)
         return self
 
     def stop(self) -> None:
         self._running.clear()
-        self._stop_event.set()  # wakes the tick loop immediately
         if self.obs is not None:
             self.obs.stop()
+        if self._aio is not None:
+            try:
+                self._aio.submit(self._shutdown_on_loop()).result(timeout=5.0)
+            except Exception:
+                pass  # loop already dead; the thread join below cleans up
+            self._aio.stop()
+            self._aio = None
         try:
-            # shutdown() wakes the thread blocked in accept() — close()
-            # alone does not on Linux, which would leave the listening
-            # socket alive inside the stuck syscall and the port bound,
-            # so a restarted broker could never rebind it.
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass  # not listening / platform refuses shutdown on listeners
-        try:
+            # Normally the asyncio server owns (and closed) this socket;
+            # closing again is a no-op but covers the never-started case.
             self._listener.close()
         except OSError:
             pass
-        with self._connections_lock:
-            connections = list(self._accepted)
-            self._accepted.clear()
-            self._connections.clear()
-        for connection in connections:
-            connection.close()
-        if self._transport_metrics is not None and connections:
-            # Reader threads skip their own dec once a connection left
-            # ``_accepted``, so this is the only decrement for these.
-            self._transport_metrics.connections.dec(len(connections))
-        for thread in self._threads:
-            thread.join(timeout=0.1)
         if self.journal is not None:
             self.journal.close()
 
@@ -338,44 +412,142 @@ class TcpBroker:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # -- internals ----------------------------------------------------------
+    # -- event-loop internals ------------------------------------------------
 
-    def _accept_loop(self) -> None:
+    async def _start_on_loop(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_client, sock=self._listener
+        )
+        loop = asyncio.get_running_loop()
+        self._tasks = [loop.create_task(self._tick_task())]
+        for peer_id, (peer_host, peer_port) in self._peer_addresses.items():
+            self._tasks.append(
+                loop.create_task(self._peer_task(peer_id, peer_host, peer_port))
+            )
+
+    async def _shutdown_on_loop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+        # Yield once so handler tasks for just-accepted connections get to
+        # run their first statements and register in ``_accepted`` — an
+        # unregistered transport would otherwise never be closed and its
+        # peer never see EOF.  Stragglers after this cycle self-close on
+        # the ``_running`` guard in ``_serve_client``.
+        await asyncio.sleep(0)
+        with self._connections_lock:
+            connections = list(self._accepted)
+            self._accepted.clear()
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        if self._transport_metrics is not None and connections:
+            # Reader tasks skip their own dec once a connection left
+            # ``_accepted``, so this is the only decrement for these.
+            self._transport_metrics.connections.dec(len(connections))
+        if self._server is not None:
+            self._server.close()
+            try:
+                # On 3.12+ this also waits for handler tasks; connections
+                # are closed above, so their readers exit promptly.
+                await asyncio.wait_for(self._server.wait_closed(), timeout=2.0)
+            except asyncio.TimeoutError:
+                pass
+            self._server = None
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not self._running.is_set():
+            # Accepted during shutdown (after the close sweep snapshotted
+            # ``_accepted``): close here or the peer never sees EOF.
+            writer.close()
+            return
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        connection = AioConnection(
+            self._aio, reader, writer, metrics=self._transport_metrics
+        )
+        with self._connections_lock:
+            self._accepted.add(connection)
+        if self._transport_metrics is not None:
+            self._transport_metrics.connections.inc()
+        await connection.run_reader(self._on_envelope)
+        self._drop_connection(connection)
+
+    async def _tick_task(self) -> None:
+        interval = self.config.heartbeat_interval / 2.0
+        while True:
+            await asyncio.sleep(interval)
+            with self._core_lock:
+                outbound = self.core.tick()
+            self._route(outbound)
+
+    async def _peer_task(self, peer_id: str, host: str, port: int) -> None:
+        """Maintain the outbound link to one federation peer.
+
+        Dial with capped exponential backoff plus jitter, introduce
+        ourselves with a transport ``hello`` (codec negotiation) and a
+        ``PeerHello`` (reply expected, so the peer's epoch lands in our
+        table immediately), then read the link like any other
+        connection.  Both sides dialing each other is fine: forwards and
+        gossip are idempotent, and ``_connections`` keeps whichever link
+        registered last.
+        """
+        backoff = 0.2
+        rng = random.Random(f"{self.core.node_id}->{peer_id}")
         while self._running.is_set():
             try:
-                sock, _addr = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            connection = _Connection(sock, metrics=self._transport_metrics)
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=5.0
+                )
+            except (OSError, asyncio.TimeoutError):
+                await asyncio.sleep(backoff * (1.0 + 0.5 * rng.random()))
+                backoff = min(backoff * 2.0, 5.0)
+                continue
+            backoff = 0.2
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+            connection = AioConnection(
+                self._aio, reader, writer, metrics=self._transport_metrics
+            )
+            connection.peer_id = NodeId(peer_id)
             with self._connections_lock:
                 self._accepted.add(connection)
+                self._connections[NodeId(peer_id)] = connection
             if self._transport_metrics is not None:
                 self._transport_metrics.connections.inc()
-            thread = threading.Thread(
-                target=self._reader_loop, args=(connection,), daemon=True
+            hello = Hello(
+                node_id=str(self.core.node_id),
+                codecs=list(self._offered),
+                role="broker",
             )
-            thread.start()
+            peer_hello = PeerHello(
+                broker_id=str(self.core.node_id),
+                epoch=self.core.federation.epoch,
+                reply_expected=True,
+            )
+            try:
+                connection.send(
+                    hello.envelope(self.core.node_id, NodeId(peer_id))
+                )
+                connection.send(
+                    peer_hello.envelope(self.core.node_id, NodeId(peer_id))
+                )
+            except ConnectionClosed:
+                pass  # the reader below observes the dead link and returns
+            await connection.run_reader(self._on_envelope)
+            self._drop_connection(connection)
 
-    def _reader_loop(self, connection: _Connection) -> None:
-        while self._running.is_set():
-            envelopes = connection.recv_envelopes()
-            if envelopes is None:
-                connection.close()
-                break
-            for envelope in envelopes:
-                if connection.peer_id is None:
-                    connection.peer_id = envelope.src
-                    with self._connections_lock:
-                        self._connections[envelope.src] = connection
-                try:
-                    with self._core_lock:
-                        outbound = self.core.handle(envelope)
-                except TransportError:
-                    continue  # unknown message type: forward compatibility
-                self._route(outbound)
-        # Connection gone: a provider that drops TCP is handled by the
-        # heartbeat failure detector; nothing else to do here.
+    def _drop_connection(self, connection: AioConnection) -> None:
         with self._connections_lock:
             dropped = connection in self._accepted
             self._accepted.discard(connection)
@@ -386,57 +558,59 @@ class TcpBroker:
                 del self._connections[connection.peer_id]
         if dropped and self._transport_metrics is not None:
             self._transport_metrics.connections.dec()
+        # A provider that drops TCP is handled by the heartbeat failure
+        # detector; nothing else to do here.
 
-    def _tick_loop(self) -> None:
-        interval = self.config.heartbeat_interval / 2.0
-        # Waiting on the real stop event (instead of a throwaway one)
-        # means ``stop`` interrupts the sleep instead of riding it out.
-        while not self._stop_event.wait(interval):
-            with self._core_lock:
-                outbound = self.core.tick()
-            self._route(outbound)
-
-    def _peer_loop(self, peer_id: str, host: str, port: int) -> None:
-        """Maintain the outbound link to one federation peer.
-
-        Dial with capped exponential backoff plus jitter, introduce
-        ourselves with a ``PeerHello`` (reply expected, so the peer's
-        epoch lands in our table immediately), then hand the connection
-        to the shared reader loop.  Both sides dialing each other is
-        fine: forwards and gossip are idempotent, and ``_connections``
-        keeps whichever link registered last.
-        """
-        backoff = 0.2
-        rng = random.Random(f"{self.core.node_id}->{peer_id}")
-        while self._running.is_set():
+    def _on_envelope(
+        self, connection: AioConnection, envelope: Envelope
+    ) -> None:
+        """Dispatch one inbound envelope (runs on the event loop)."""
+        if envelope.type == Hello.TYPE:
+            self._on_hello(connection, envelope)
+            return
+        if envelope.type == HelloAck.TYPE:
+            # A peer broker we dialed answered our hello.
             try:
-                connection = _connect(
-                    host, port, timeout=5.0, metrics=self._transport_metrics
-                )
-            except OSError:
-                if self._stop_event.wait(backoff * (1.0 + 0.5 * rng.random())):
-                    return
-                backoff = min(backoff * 2.0, 5.0)
-                continue
-            backoff = 0.2
-            connection.peer_id = NodeId(peer_id)
+                ack = body_of(envelope)
+            except TransportError:
+                return
+            if ack.codec in self._offered and ack.codec in SUPPORTED_CODECS:
+                connection.send_codec = ack.codec
+            return
+        if connection.peer_id is None:
+            connection.peer_id = envelope.src
             with self._connections_lock:
-                self._accepted.add(connection)
-                self._connections[NodeId(peer_id)] = connection
-            if self._transport_metrics is not None:
-                self._transport_metrics.connections.inc()
-            hello = PeerHello(
-                broker_id=str(self.core.node_id),
-                epoch=self.core.federation.epoch,
-                reply_expected=True,
-            )
-            try:
-                connection.send(
-                    hello.envelope(self.core.node_id, NodeId(peer_id))
-                )
-            except ConnectionClosed:
-                pass  # reader loop below observes the dead link and returns
-            self._reader_loop(connection)  # returns when the link dies
+                self._connections[envelope.src] = connection
+        try:
+            with self._core_lock:
+                outbound = self.core.handle(envelope)
+        except TransportError:
+            return  # unknown message type: forward compatibility
+        self._route(outbound)
+
+    def _on_hello(
+        self, connection: AioConnection, envelope: Envelope
+    ) -> None:
+        try:
+            hello = body_of(envelope)
+        except TransportError:
+            return
+        connection.peer_codecs = tuple(hello.codecs)
+        if connection.peer_id is None:
+            connection.peer_id = envelope.src
+            with self._connections_lock:
+                self._connections[envelope.src] = connection
+        chosen = choose_codec(
+            [codec for codec in hello.codecs if codec in self._offered]
+        )
+        ack = HelloAck(codec=chosen, codecs=list(self._offered))
+        try:
+            connection.send(ack.envelope(self.core.node_id, envelope.src))
+        except ConnectionClosed:
+            return
+        # The peer decodes every codec it advertised, so this side may
+        # switch immediately — even the ack itself may go out binary.
+        connection.send_codec = chosen
 
     def _route(self, envelopes: list[Envelope]) -> None:
         for envelope in envelopes:
@@ -448,7 +622,8 @@ class TcpBroker:
                 connection.send(envelope)
             except ConnectionClosed:
                 with self._connections_lock:
-                    self._connections.pop(envelope.dst, None)
+                    if self._connections.get(envelope.dst) is connection:
+                        del self._connections[envelope.dst]
 
 
 class TcpProvider:
@@ -458,7 +633,9 @@ class TcpProvider:
     is running, the connection loop reconnects with exponential backoff
     (plus jitter, so a provider fleet does not reconnect in lockstep) and
     re-registers using the benchmark score measured at ``start`` — the
-    self-benchmark is not repeated on reconnect.
+    self-benchmark is not repeated on reconnect.  Every (re)connection
+    opens with a transport ``hello`` so the binary codec is renegotiated
+    per link; ``codec='json'`` pins the debug fallback.
     """
 
     def __init__(
@@ -480,6 +657,7 @@ class TcpProvider:
         obs_port: int | None = None,
         obs_host: str = "127.0.0.1",
         brokers: list[tuple[str, int]] | None = None,
+        codec: str = "binary",
     ):
         self.node_id = NodeId(node_id or random_id("prov"))
         self.capacity = capacity
@@ -489,6 +667,7 @@ class TcpProvider:
         self.reconnect = reconnect
         self.reconnect_backoff = reconnect_backoff
         self.reconnect_backoff_max = reconnect_backoff_max
+        self._offered = _offered_codecs(codec)
         if obs_port is not None and telemetry is None:
             telemetry = Telemetry()
         self.telemetry = telemetry
@@ -559,6 +738,7 @@ class TcpProvider:
             active = self._active
         with self._state_lock:
             inflight = len(self._inflight)
+        connection = self._connection
         connected = self._is_connected()
         if not self._running.is_set():
             status = "unhealthy"
@@ -577,6 +757,7 @@ class TcpProvider:
             "inflight": inflight,
             "epoch": self._epoch,
             "benchmark_score": self._score,
+            "codec": connection.send_codec if connection else None,
         }
 
     def start(self) -> "TcpProvider":
@@ -591,6 +772,7 @@ class TcpProvider:
         self._running.set()
         self._stop_event.clear()
         self._draining.clear()
+        self._handshake(self._connection)
         self._register()
         if self.obs is not None:
             self.obs.start()
@@ -644,11 +826,20 @@ class TcpProvider:
 
     # -- internals ----------------------------------------------------------
 
-    def _send(self, envelope: Envelope) -> None:
+    def _send(self, envelope: Envelope, stamp: Stamp | None = None) -> None:
         connection = self._connection
         if connection is None:
             raise TransportError("provider not connected")
-        connection.send(envelope)
+        connection.send(envelope, stamp)
+
+    def _handshake(self, connection: _Connection) -> None:
+        """Open codec negotiation; the broker answers with a HelloAck."""
+        hello = Hello(
+            node_id=str(self.node_id),
+            codecs=list(self._offered),
+            role="provider",
+        )
+        connection.send(hello.envelope(self.node_id, BROKER_ADDRESS))
 
     def _register(self) -> None:
         self._epoch += 1
@@ -713,6 +904,7 @@ class TcpProvider:
                 continue
             self._connection = candidate
             try:
+                self._handshake(candidate)
                 self._register()
             except (ConnectionClosed, TransportError):
                 self._connection = None
@@ -737,11 +929,14 @@ class TcpProvider:
                     body = body_of(envelope)
                 except TransportError:
                     continue  # unknown message type: forward compatibility
-                if not self._on_broker_message(body, envelope.trace):
+                if not self._on_broker_message(body, envelope.trace, connection):
                     return
 
     def _on_broker_message(
-        self, body, trace: dict[str, str] | None = None
+        self,
+        body,
+        trace: dict[str, str] | None = None,
+        connection: _Connection | None = None,
     ) -> bool:
         """Dispatch one decoded broker message; False = stop reading."""
         if isinstance(body, AssignExecution):
@@ -756,6 +951,13 @@ class TcpProvider:
                     # An ack without the echo gives no RTT sample; count
                     # it so silent RTT gaps are visible, not just absent.
                     self._transport_metrics.heartbeats_unechoed.inc()
+        elif isinstance(body, HelloAck):
+            if (
+                connection is not None
+                and body.codec in self._offered
+                and body.codec in SUPPORTED_CODECS
+            ):
+                connection.send_codec = body.codec
         elif isinstance(body, CancelExecution):
             with self._state_lock:
                 # Only executions still in flight can be cancelled;
@@ -805,15 +1007,22 @@ class TcpProvider:
                     active
                 )
             # A non-zero timestamp asks the broker for an ack (RTT
-            # telemetry); without telemetry the flows stay ack-free.
-            sent_at = (
-                time.monotonic() if self._transport_metrics is not None else 0.0
-            )
+            # telemetry); without telemetry the flows stay ack-free.  The
+            # placeholder is re-stamped *at flush time* by the hook below
+            # — under write coalescing a heartbeat can sit behind a batch
+            # for milliseconds, and enqueue-time stamps would bill that
+            # wait as network RTT, poisoning the EWMA straggler watchdog.
+            want_rtt = self._transport_metrics is not None
             heartbeat = Heartbeat(
-                provider_id=self.node_id, free_slots=free, sent_at=sent_at
+                provider_id=self.node_id,
+                free_slots=free,
+                sent_at=time.monotonic() if want_rtt else 0.0,
             )
             try:
-                self._send(heartbeat.envelope(self.node_id, BROKER_ADDRESS))
+                self._send(
+                    heartbeat.envelope(self.node_id, BROKER_ADDRESS),
+                    stamp=_stamp_heartbeat if want_rtt else None,
+                )
             except (ConnectionClosed, TransportError):
                 continue  # disconnected; the connection loop is reconnecting
 
@@ -882,7 +1091,8 @@ class TcpProvider:
             cancelled = request.execution_id in self._cancelled
         # Send before purging bookkeeping: a draining stop() waits on
         # ``_inflight`` emptying, and its unregister must not be able to
-        # overtake this result on the wire.
+        # overtake this result on the wire (the shared FIFO send queue
+        # preserves the order even when another thread is flushing).
         if not cancelled and epoch == self._epoch:
             result = ExecutionResult(
                 execution_id=request.execution_id,
@@ -902,6 +1112,11 @@ class TcpProvider:
         self._finish_execution(request.execution_id)
 
 
+def _stamp_heartbeat(envelope: Envelope) -> None:
+    """Flush-time hook: the RTT clock starts when the bytes leave."""
+    envelope.payload["sent_at"] = time.monotonic()
+
+
 class TcpConsumer:
     """Consumer session over TCP; plug into :class:`TaskletLibrary`.
 
@@ -909,6 +1124,10 @@ class TcpConsumer:
     :class:`~repro.common.errors.BrokerUnreachable` (typed, immediate — no
     caller is left hanging until its timeout) and the optional
     ``on_disconnect`` hook is invoked with a human-readable reason.
+
+    Every connection opens with a transport ``hello`` negotiating the
+    binary wire codec (``codec='json'`` pins the debug fallback); batch
+    submissions are flushed as one coalesced socket write.
 
     Federation: pass ``brokers=[(host, port), ...]`` instead of a single
     address and the consumer fails over automatically — when the link
@@ -933,6 +1152,7 @@ class TcpConsumer:
         failover_backoff: float = 0.2,
         failover_backoff_max: float = 2.0,
         max_failover_attempts: int = 12,
+        codec: str = "binary",
     ):
         self.node_id = NodeId(node_id or random_id("cons"))
         self._clock = WallClock()
@@ -941,6 +1161,7 @@ class TcpConsumer:
             TransportMetrics(telemetry.registry) if telemetry else None
         )
         self._events = telemetry.events if telemetry else None
+        self._offered = _offered_codecs(codec)
         self.core = ConsumerCore(
             node_id=self.node_id, clock=self._clock, telemetry=telemetry
         )
@@ -975,6 +1196,7 @@ class TcpConsumer:
             self._connection = _connect(
                 *self._broker, metrics=self._transport_metrics
             )
+        self._handshake(self._connection)
         self._start_reader(self._connection)
         return self
 
@@ -999,8 +1221,20 @@ class TcpConsumer:
         )
         self._disconnected.clear()
         self._running.set()
+        self._handshake(self._connection)
         self._start_reader(self._connection)
         return self
+
+    def _handshake(self, connection: _Connection) -> None:
+        hello = Hello(
+            node_id=str(self.node_id),
+            codecs=list(self._offered),
+            role="consumer",
+        )
+        try:
+            connection.send(hello.envelope(self.node_id, BROKER_ADDRESS))
+        except ConnectionClosed:
+            pass  # the reader loop observes the dead link and recovers
 
     def _start_reader(self, connection: _Connection) -> None:
         self._reader = threading.Thread(
@@ -1036,7 +1270,12 @@ class TcpConsumer:
         return future
 
     def submit_batch(self, tasklets: Sequence[Tasklet]) -> list[TaskletFuture]:
-        """Submit many Tasklets under one core lock acquisition."""
+        """Submit many Tasklets under one core lock acquisition.
+
+        The whole batch is encoded and flushed as one coalesced socket
+        write — at high submission rates this is the difference between
+        one syscall and hundreds.
+        """
         self._check_ready()
         futures, envelopes = self.core.submit_many(tasklets)
         self._send_submission(envelopes)
@@ -1063,8 +1302,9 @@ class TcpConsumer:
             self.core.fail_all_pending("connection to broker lost")
             return
         try:
-            for envelope in envelopes:
-                self._connection.send(envelope)
+            self._connection.send_many(
+                [(envelope, None) for envelope in envelopes]
+            )
         except ConnectionClosed as exc:
             # The submission never left this host; the futures (and any
             # other pending ones — the connection is dead for all of
@@ -1082,6 +1322,17 @@ class TcpConsumer:
             if envelopes is None:
                 break
             for envelope in envelopes:
+                if envelope.type == HelloAck.TYPE:
+                    try:
+                        ack = body_of(envelope)
+                    except TransportError:
+                        continue
+                    if (
+                        ack.codec in self._offered
+                        and ack.codec in SUPPORTED_CODECS
+                    ):
+                        connection.send_codec = ack.codec
+                    continue
                 try:
                     self.core.handle(envelope)
                 except TransportError:
@@ -1152,6 +1403,7 @@ class TcpConsumer:
             return
         self._connection = connection
         self._disconnected.clear()
+        self._handshake(connection)
         if self._events is not None:
             host, port = self._broker
             self._events.record(

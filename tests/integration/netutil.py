@@ -1,0 +1,56 @@
+"""Shared socket/port helpers for the TCP integration suites.
+
+Port handling used to be re-implemented per file (ad-hoc ``bind(0)``
+reservation in the federation suite, copy-pasted rebind-retry loops in
+the durability and workflow suites); centralising it keeps the flake
+behaviour — and any future fix to it — in one place.
+"""
+
+import socket
+import time
+
+
+def free_ports(count):
+    """Reserve ``count`` distinct ephemeral ports (bind, record, release).
+
+    For scenarios that must know addresses up front (federated brokers
+    dialing each other, restart-on-same-port), where ``port=0``
+    auto-assignment is not an option.  All sockets are held open until
+    every port is picked so the kernel cannot hand out duplicates; the
+    tiny window between release and rebind is an accepted test-only race
+    (see :func:`retry_bind` for the consumer-side mitigation).
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def free_port():
+    """One reserved ephemeral port (see :func:`free_ports`)."""
+    return free_ports(1)[0]
+
+
+def retry_bind(factory, retry_for=5.0, interval=0.1):
+    """Call ``factory()`` until it stops raising :class:`OSError`.
+
+    Rebinding a just-released port can transiently fail on some
+    platforms (TIME_WAIT, slow listener teardown); restart scenarios only
+    need the bind to succeed *soon*.  The last failure is re-raised once
+    ``retry_for`` seconds have elapsed.
+    """
+    deadline = time.perf_counter() + retry_for
+    while True:
+        try:
+            return factory()
+        except OSError:
+            if time.perf_counter() > deadline:
+                raise
+            time.sleep(interval)

@@ -15,22 +15,20 @@ from repro.common.errors import BrokerUnreachable
 from repro.core import kernels
 from repro.transport.tcp import TcpBroker, TcpConsumer, TcpProvider
 
+from .netutil import retry_bind
+
 CONFIG = dict(heartbeat_interval=0.2, heartbeat_tolerance=2.0, execution_timeout=30.0)
 
 
 def start_broker(journal_path, port=0, retry_for=5.0):
-    deadline = time.perf_counter() + retry_for
-    while True:
-        try:
-            return TcpBroker(
-                port=port, config=BrokerConfig(**CONFIG), journal_path=str(journal_path)
-            ).start()
-        except OSError:
-            # Rebinding a just-released port can transiently fail on some
-            # platforms; the restart scenario only needs it to succeed soon.
-            if port == 0 or time.perf_counter() > deadline:
-                raise
-            time.sleep(0.1)
+    def factory():
+        return TcpBroker(
+            port=port, config=BrokerConfig(**CONFIG), journal_path=str(journal_path)
+        ).start()
+
+    # Port 0 never collides, so it gets no retry; a pinned restart port
+    # is retried through the transient rebind window.
+    return factory() if port == 0 else retry_bind(factory, retry_for=retry_for)
 
 
 def wait_for_registration(broker, count, timeout=10.0):

@@ -6,7 +6,6 @@ own, idempotent resubmission recovers every in-flight tasklet, and the
 cross-journal audit shows each tasklet executed by exactly one broker.
 """
 
-import socket
 import time
 
 import pytest
@@ -17,25 +16,9 @@ from repro.common.errors import BrokerUnreachable, FederationExhausted
 from repro.core import kernels
 from repro.transport.tcp import TcpBroker, TcpConsumer, TcpProvider
 
+from .netutil import free_ports
+
 CONFIG = dict(heartbeat_interval=0.2, heartbeat_tolerance=2.0, execution_timeout=30.0)
-
-
-def free_ports(count):
-    """Reserve ``count`` distinct ephemeral ports (bind, record, release).
-
-    Federated brokers must know each other's addresses up front, so
-    ``port=0`` auto-assignment is not an option here.  The tiny window
-    between release and rebind is an accepted test-only race.
-    """
-    sockets = []
-    for _ in range(count):
-        sock = socket.socket()
-        sock.bind(("127.0.0.1", 0))
-        sockets.append(sock)
-    ports = [sock.getsockname()[1] for sock in sockets]
-    for sock in sockets:
-        sock.close()
-    return ports
 
 
 def wait_until(predicate, timeout=10.0, message="condition"):

@@ -91,9 +91,25 @@ def test_tcp_exposition_covers_all_four_subsystems(broker, telemetry):
     ):
         assert expected in names, f"missing family {expected}"
     parsed = parse_prometheus(text)
-    assert parsed["repro_transport_bytes_total"]['direction="in"'] > 0
-    assert parsed["repro_transport_bytes_total"]['direction="out"'] > 0
-    assert parsed["repro_transport_messages_total"]['direction="in"'] > 0
+
+    def by_direction(family, direction):
+        return sum(
+            value
+            for labels, value in parsed[family].items()
+            if f'direction="{direction}"' in labels
+        )
+
+    assert by_direction("repro_transport_bytes_total", "in") > 0
+    assert by_direction("repro_transport_bytes_total", "out") > 0
+    assert by_direction("repro_transport_messages_total", "in") > 0
+    # The handshake negotiated the binary codec, and the label makes a
+    # mixed-codec cluster visible: both codecs appear in the exposition.
+    codecs = {
+        labels.split('codec="')[1].rstrip('"')
+        for labels in parsed["repro_transport_bytes_total"]
+    }
+    assert "bin1" in codecs and "json" in codecs
+    assert parsed["repro_transport_flushes_total"][""] > 0
     assert parsed["repro_provider_executions_total"]['status="success"'] == 1
 
 
@@ -223,6 +239,7 @@ def test_live_obs_endpoints_on_broker_and_provider(telemetry):
                 "inflight": 0,
                 "epoch": 1,
                 "benchmark_score": 1e5,
+                "codec": "bin1",
             }
     finally:
         server.stop()

@@ -17,20 +17,18 @@ from repro.common.errors import BrokerUnreachable
 from repro.dag.patterns import chain, reference_values
 from repro.transport.tcp import TcpBroker, TcpConsumer, TcpProvider
 
+from .netutil import retry_bind
+
 CONFIG = dict(heartbeat_interval=0.2, heartbeat_tolerance=3.0, execution_timeout=30.0)
 
 
 def start_broker(journal_path, port=0, retry_for=5.0):
-    deadline = time.perf_counter() + retry_for
-    while True:
-        try:
-            return TcpBroker(
-                port=port, config=BrokerConfig(**CONFIG), journal_path=str(journal_path)
-            ).start()
-        except OSError:
-            if port == 0 or time.perf_counter() > deadline:
-                raise
-            time.sleep(0.1)
+    def factory():
+        return TcpBroker(
+            port=port, config=BrokerConfig(**CONFIG), journal_path=str(journal_path)
+        ).start()
+
+    return factory() if port == 0 else retry_bind(factory, retry_for=retry_for)
 
 
 def make_provider(broker, **kwargs):

@@ -359,6 +359,27 @@ class TestTopWorkflows:
         screen = _render_top({"node": "b1", "status": "ok"}, alerts=[])
         assert "WORKFLOW" not in screen
 
+    def test_render_top_shows_transport_codec_mix(self):
+        from repro.cli import _render_top
+
+        health = {
+            "node": "b1",
+            "status": "ok",
+            "transport": {
+                "loop": "asyncio",
+                "connections": 3,
+                "codecs": {"bin1": 2, "json": 1},
+            },
+        }
+        screen = _render_top(health, alerts=[])
+        assert "transport: asyncio  connections=3  codecs=[bin1:2 json:1]" in screen
+
+    def test_render_top_omits_transport_line_without_section(self):
+        from repro.cli import _render_top
+
+        screen = _render_top({"node": "b1", "status": "ok"}, alerts=[])
+        assert "transport:" not in screen
+
 
 @pytest.fixture
 def workflow_journal_file(tmp_path):

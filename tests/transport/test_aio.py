@@ -1,0 +1,172 @@
+"""Event-loop transport core: coalescing, negotiation, lifecycle."""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ConnectionClosed
+from repro.common.ids import NodeId
+from repro.transport.aio import AioConnection, LoopThread
+from repro.transport.codec import CODEC_BINARY, EnvelopeDecoder
+from repro.transport.message import Heartbeat
+
+
+def make_envelope(i=0):
+    return Heartbeat(provider_id=f"p{i}", free_slots=i).envelope(
+        NodeId(f"p{i}"), NodeId("broker")
+    )
+
+
+@pytest.fixture
+def loop_thread():
+    lt = LoopThread("test-aio").start()
+    yield lt
+    lt.stop()
+
+
+@pytest.fixture
+def pair(loop_thread):
+    """An AioConnection wired to a plain blocking socket peer."""
+    server, client = socket.socketpair()
+
+    async def build():
+        reader, writer = await asyncio.open_connection(sock=server)
+        return AioConnection(loop_thread, reader, writer)
+
+    connection = loop_thread.submit(build()).result(timeout=5.0)
+    yield connection, client
+    connection.close()
+    client.close()
+
+
+def recv_frames(sock, count, timeout=5.0):
+    """Read from a blocking socket until ``count`` envelopes arrived."""
+    sock.settimeout(timeout)
+    decoder = EnvelopeDecoder()
+    frames = []
+    while len(frames) < count:
+        chunk = sock.recv(65536)
+        assert chunk, "peer closed early"
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+def test_send_delivers_and_respects_codec(pair):
+    connection, peer = pair
+    connection.send(make_envelope(1))
+    ((envelope, codec, _size),) = recv_frames(peer, 1)
+    assert envelope.payload["provider_id"] == "p1"
+    assert codec == "json"  # pre-negotiation default
+    connection.send_codec = CODEC_BINARY
+    connection.send(make_envelope(2))
+    ((envelope, codec, _size),) = recv_frames(peer, 1)
+    assert envelope.payload["provider_id"] == "p2"
+    assert codec == CODEC_BINARY
+
+
+def test_writes_coalesce_under_burst(pair):
+    connection, peer = pair
+
+    class Counting:
+        """Stand-in metrics: count flushes without a full registry."""
+
+        class _Inc:
+            def __init__(self):
+                self.value = 0
+
+            def labels(self, **_kw):
+                return self
+
+            def inc(self, amount=1):
+                self.value += amount
+
+        def __init__(self):
+            self.bytes = self._Inc()
+            self.messages = self._Inc()
+            self.flushes = self._Inc()
+
+    connection._metrics = metrics = Counting()
+    total = 200
+    # Enqueue from off-loop threads while the loop is busy elsewhere:
+    # everything queued before the flush task runs shares one write.
+    def burst(start):
+        for i in range(start, start + total // 2):
+            connection.send(make_envelope(i))
+
+    threads = [
+        threading.Thread(target=burst, args=(0,)),
+        threading.Thread(target=burst, args=(total // 2,)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    frames = recv_frames(peer, total)
+    assert len(frames) == total
+    # The counter ticks after each drain(); wait out the last batch's.
+    deadline = time.perf_counter() + 5.0
+    while metrics.messages.value < total and time.perf_counter() < deadline:
+        time.sleep(0.01)
+    assert metrics.messages.value == total
+    assert metrics.flushes.value < total, "burst must coalesce, not write per-message"
+
+
+def test_send_after_close_raises_typed(pair):
+    connection, peer = pair
+    connection.close()
+    deadline = time.perf_counter() + 5.0
+    while not connection.closed and time.perf_counter() < deadline:
+        time.sleep(0.01)
+    with pytest.raises(ConnectionClosed):
+        connection.send(make_envelope())
+
+
+def test_reader_dispatches_and_reports_close(loop_thread):
+    server, client = socket.socketpair()
+    received = []
+    done = threading.Event()
+
+    async def serve():
+        reader, writer = await asyncio.open_connection(sock=server)
+        connection = AioConnection(loop_thread, reader, writer)
+        await connection.run_reader(
+            lambda conn, envelope: received.append(envelope)
+        )
+        done.set()
+
+    loop_thread.submit(serve())
+    from repro.transport.codec import encode_envelope
+
+    client.sendall(encode_envelope(make_envelope(7), CODEC_BINARY))
+    deadline = time.perf_counter() + 5.0
+    while not received and time.perf_counter() < deadline:
+        time.sleep(0.01)
+    assert received and received[0].payload["provider_id"] == "p7"
+    client.close()
+    assert done.wait(5.0), "reader must return on EOF"
+
+
+def test_reader_drops_link_on_garbage(loop_thread):
+    server, client = socket.socketpair()
+    done = threading.Event()
+
+    async def serve():
+        reader, writer = await asyncio.open_connection(sock=server)
+        connection = AioConnection(loop_thread, reader, writer)
+        await connection.run_reader(lambda conn, envelope: None)
+        done.set()
+
+    loop_thread.submit(serve())
+    client.sendall(b"\xde\xad\xbe\xef" * 4)
+    assert done.wait(5.0), "garbage must end the reader, not hang it"
+    client.close()
+
+
+def test_loop_thread_stop_is_idempotent():
+    lt = LoopThread("t").start()
+    assert lt.on_loop() is False
+    lt.stop()
+    lt.stop()

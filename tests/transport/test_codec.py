@@ -1,0 +1,219 @@
+"""Wire codec: every message type round-trips both codecs bit-identically.
+
+Property-style sweep: the shared ``SAMPLE_BODIES`` corpus (which the
+registry-completeness test forces to cover every registered message
+type) is pushed through json and bin1, with trace contexts, unicode,
+large payloads, and unknown-field tolerance on top.
+"""
+
+import pytest
+
+from repro.common.errors import CodecError, TransportError
+from repro.common.ids import NodeId
+from repro.transport.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    FIELD_TABLES,
+    MAGIC_BINARY,
+    SUPPORTED_CODECS,
+    WIRE_TAGS,
+    EnvelopeDecoder,
+    choose_codec,
+    encode_batch,
+    encode_envelope,
+    iter_frames,
+    pack_value,
+    unpack_value,
+)
+from repro.transport.message import (
+    MESSAGE_TYPES,
+    Envelope,
+    Heartbeat,
+    SubmitTasklet,
+    body_of,
+)
+
+from .test_messages import SAMPLE_BODIES
+
+BOTH = (CODEC_JSON, CODEC_BINARY)
+
+
+def roundtrip(envelope, codec):
+    frames = EnvelopeDecoder().feed(encode_envelope(envelope, codec))
+    assert len(frames) == 1
+    decoded, seen_codec, size = frames[0]
+    assert seen_codec == codec
+    assert size > 0
+    return decoded
+
+
+@pytest.mark.parametrize("codec", BOTH)
+@pytest.mark.parametrize("body", SAMPLE_BODIES, ids=lambda b: b.TYPE)
+def test_every_message_type_roundtrips(body, codec):
+    envelope = body.envelope(src=NodeId("n1"), dst=NodeId("broker"))
+    decoded = roundtrip(envelope, codec)
+    assert decoded.to_dict() == envelope.to_dict()
+    assert body_of(decoded) == body
+
+
+@pytest.mark.parametrize("codec", BOTH)
+def test_trace_context_rides_both_codecs(codec):
+    envelope = Heartbeat(provider_id="p1", free_slots=1).envelope(
+        NodeId("p1"), NodeId("broker")
+    )
+    envelope.trace = {"trace_id": "t" * 16, "span_id": "s" * 8}
+    decoded = roundtrip(envelope, codec)
+    assert decoded.trace == envelope.trace
+
+
+@pytest.mark.parametrize("codec", BOTH)
+def test_unicode_and_awkward_values_roundtrip(codec):
+    payload_args = [
+        "héllo wörld \N{SNOWMAN}",
+        "‮gnirts lortnoc‬",
+        {"ключ": ["значение", -(2**70), 2**70, 0.1, True, None]},
+        b"\x00\xff binary blob \x7b\xb1",
+    ]
+    body = SubmitTasklet(
+        tasklet={"tasklet_id": "tl-ü", "entry": "main", "args": payload_args}
+    )
+    envelope = body.envelope(NodeId("c-é"), NodeId("broker"))
+    decoded = roundtrip(envelope, codec)
+    assert decoded.to_dict() == envelope.to_dict()
+
+
+@pytest.mark.parametrize("codec", BOTH)
+def test_large_payload_roundtrips(codec):
+    big = {"blob": "x" * 1_000_000, "rows": [[float(i), i] for i in range(5000)]}
+    body = SubmitTasklet(tasklet={"tasklet_id": "tl-big", "program": big})
+    envelope = body.envelope(NodeId("c1"), NodeId("broker"))
+    decoded = roundtrip(envelope, codec)
+    assert decoded.payload == envelope.payload
+
+
+def test_unknown_fields_are_tolerated_by_bodies():
+    # A newer peer may ship extra payload keys; body_of must not choke.
+    envelope = Envelope(
+        type="heartbeat",
+        src=NodeId("p1"),
+        dst=NodeId("broker"),
+        payload={
+            "provider_id": "p1",
+            "free_slots": 1,
+            "queue_length": 0,
+            "sent_at": 0.0,
+            "from_the_future": {"nested": True},
+        },
+    )
+    for codec in BOTH:
+        decoded = roundtrip(envelope, codec)
+        body = body_of(decoded)
+        assert body.provider_id == "p1"
+        assert not hasattr(body, "from_the_future")
+
+
+def test_wire_tags_cover_every_registered_type_uniquely():
+    assert set(WIRE_TAGS) == set(MESSAGE_TYPES)
+    assert len(set(WIRE_TAGS.values())) == len(WIRE_TAGS)
+    assert 0 not in WIRE_TAGS.values()  # 0 is the generic-name escape
+
+
+def test_unregistered_type_uses_generic_tag():
+    envelope = Envelope(
+        type="experimental_v99",
+        src=NodeId("a"),
+        dst=NodeId("b"),
+        payload={"k": 1},
+    )
+    decoded = roundtrip(envelope, CODEC_BINARY)
+    assert decoded.type == "experimental_v99"
+    assert decoded.payload == {"k": 1}
+
+
+def test_field_tables_pin_dataclass_field_order():
+    import dataclasses
+
+    for type_name, table in FIELD_TABLES.items():
+        declared = tuple(f.name for f in dataclasses.fields(MESSAGE_TYPES[type_name]))
+        assert table == declared, f"{type_name} wire order drifted"
+
+
+def test_binary_is_smaller_than_json_for_hot_messages():
+    envelope = Heartbeat(provider_id="prov-1", free_slots=3, sent_at=12.5).envelope(
+        NodeId("prov-1"), NodeId("broker")
+    )
+    assert len(encode_envelope(envelope, CODEC_BINARY)) < len(
+        encode_envelope(envelope, CODEC_JSON)
+    )
+
+
+def test_mixed_codec_stream_decodes_in_order():
+    decoder = EnvelopeDecoder()
+    envelopes = [
+        Heartbeat(provider_id=f"p{i}", free_slots=i).envelope(
+            NodeId(f"p{i}"), NodeId("broker")
+        )
+        for i in range(6)
+    ]
+    wire = b"".join(
+        encode_envelope(envelope, BOTH[i % 2])
+        for i, envelope in enumerate(envelopes)
+    )
+    # Feed byte-by-byte: reassembly must not care about chunk boundaries.
+    frames = []
+    for i in range(len(wire)):
+        frames.extend(decoder.feed(wire[i : i + 1]))
+    assert [e.payload["provider_id"] for e, _c, _s in frames] == [
+        f"p{i}" for i in range(6)
+    ]
+    assert [c for _e, c, _s in frames] == [BOTH[i % 2] for i in range(6)]
+
+
+def test_batch_encoding_applies_stamps_at_encode_time():
+    stamped = []
+    envelope = Heartbeat(provider_id="p1", free_slots=0, sent_at=0.0).envelope(
+        NodeId("p1"), NodeId("broker")
+    )
+
+    def stamp(env):
+        env.payload["sent_at"] = 99.5
+        stamped.append(env)
+
+    data = encode_batch([(envelope, stamp)], CODEC_BINARY)
+    assert stamped == [envelope]
+    (decoded,) = list(iter_frames(data))
+    assert decoded.payload["sent_at"] == 99.5
+
+
+def test_garbage_and_oversized_frames_raise_typed_errors():
+    with pytest.raises(CodecError):
+        EnvelopeDecoder().feed(b"\x00\x00\x00\x03" + bytes((MAGIC_BINARY, 0xFE, 0xFE)))
+    with pytest.raises(TransportError):
+        EnvelopeDecoder().feed(b"\x7f\xff\xff\xff")  # 2GiB length claim
+    with pytest.raises(TransportError):
+        EnvelopeDecoder().feed(b"\x00\x00\x00\x05hello")
+
+
+def test_value_packing_rejects_reserved_and_non_str_keys():
+    with pytest.raises(CodecError):
+        pack_value({"__x__": 1}, bytearray())
+    with pytest.raises(CodecError):
+        pack_value({1: "x"}, bytearray())
+    with pytest.raises(CodecError):
+        pack_value(object(), bytearray())
+
+
+def test_value_packing_handles_extreme_ints():
+    for n in (0, -1, 1, 2**63, -(2**63), 2**200, -(2**200)):
+        out = bytearray()
+        pack_value(n, out)
+        value, pos = unpack_value(bytes(out), 0)
+        assert value == n and pos == len(out)
+
+
+def test_choose_codec_prefers_binary_falls_back_to_json():
+    assert choose_codec(["bin1", "json"]) == "bin1"
+    assert choose_codec(["json"]) == "json"
+    assert choose_codec([]) == "json"
+    assert choose_codec(["bin99"]) == "json"
+    assert choose_codec(SUPPORTED_CODECS) == "bin1"

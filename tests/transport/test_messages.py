@@ -19,6 +19,8 @@ from repro.transport.message import (
     GossipDigest,
     Heartbeat,
     HeartbeatAck,
+    Hello,
+    HelloAck,
     PeerHello,
     RegisterAck,
     RegisterProvider,
@@ -34,6 +36,8 @@ from repro.transport.message import (
 )
 
 SAMPLE_BODIES = [
+    Hello(node_id="p1", codecs=["bin1", "json"], role="provider"),
+    HelloAck(codec="bin1", codecs=["bin1", "json"]),
     RegisterProvider(
         provider_id="p1", device_class="laptop", capacity=2, benchmark_score=1e6
     ),
