@@ -66,6 +66,35 @@ def test_disabled_telemetry_within_noise_of_enabled():
     )
 
 
+def run_workflow_workload(telemetry, width=3, depth=2, work=120):
+    """A small DAG through the full stack — the workflow tracing path."""
+    from repro.dag.patterns import stencil
+
+    simulation = Simulation(seed=3, telemetry=telemetry)
+    for config in make_pool({"desktop": 2}, seed=3):
+        simulation.add_provider(config)
+    consumer = simulation.add_consumer()
+    handle = consumer.submit_workflow(stencil(width, depth, work=work))
+    simulation.run(max_time=1e5)
+    assert handle.result(0)
+
+
+def test_workflow_tracing_disabled_within_noise_of_enabled():
+    """Workflow tracing (wf.node spans, trace propagation through the
+    DAG release path and forwarding hooks) must keep the tracing-off run
+    at least as fast as the fully traced one, within 5% noise."""
+    run_workflow_workload(None)
+    run_workflow_workload(Telemetry())  # warm both paths
+    disabled, enabled = interleaved_best_of(
+        lambda: run_workflow_workload(None),
+        lambda: run_workflow_workload(Telemetry()),
+    )
+    assert disabled <= enabled * 1.05, (
+        f"tracing-disabled workflow run ({disabled * 1e3:.1f}ms) slower "
+        f"than traced run ({enabled * 1e3:.1f}ms) beyond 5% noise"
+    )
+
+
 def test_vm_unprofiled_within_noise_of_profiled():
     """The per-instruction ``profile`` guard must be cheaper than profiling."""
     program = compile_source(kernels.PRIME_COUNT)

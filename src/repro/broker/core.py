@@ -242,6 +242,10 @@ class _TaskletState:
     #: root context it parents on (both None when telemetry is disabled).
     trace_ctx: TraceContext | None = None
     trace_parent: TraceContext | None = None
+    #: Context of the in-flight ``broker.forward`` span; the peer broker
+    #: parents its ``broker.tasklet`` on it, keeping forwarded executions
+    #: inside the origin's trace.
+    forward_trace_ctx: TraceContext | None = None
 
     @property
     def budget(self) -> int:
@@ -271,6 +275,15 @@ class _WorkflowState:
     spec_fingerprint: str
     nodes_memoized: int = 0
     done: bool = False
+    #: Telemetry contexts: the ``broker.workflow`` span and the consumer's
+    #: root ``workflow`` context it parents on (None when disabled).
+    trace_ctx: TraceContext | None = None
+    trace_parent: TraceContext | None = None
+    #: Per released node: the ``wf.node`` span context + release time,
+    #: popped when the node reaches a terminal state.
+    node_traces: dict[str, tuple[TraceContext, float]] = field(
+        default_factory=dict
+    )
 
 
 class BrokerCore:
@@ -370,7 +383,7 @@ class BrokerCore:
         elif isinstance(body, SubmitTasklet):
             out = self._on_submit(envelope.src, body, envelope.trace)
         elif isinstance(body, SubmitWorkflow):
-            out = self._on_submit_workflow(envelope.src, body)
+            out = self._on_submit_workflow(envelope.src, body, envelope.trace)
         elif isinstance(body, ExecutionResult):
             out = self._on_result(body)
         elif isinstance(body, ExecutionRejected):
@@ -380,7 +393,7 @@ class BrokerCore:
         elif self.federation is not None and isinstance(body, GossipDigest):
             out = self._on_gossip(body)
         elif self.federation is not None and isinstance(body, ForwardTasklet):
-            out = self._on_forward(body)
+            out = self._on_forward(body, envelope.trace)
         elif self.federation is not None and isinstance(body, ForwardAck):
             out = self._on_forward_ack(body)
         elif self.federation is not None and isinstance(body, ForwardComplete):
@@ -860,7 +873,10 @@ class BrokerCore:
         return f"{wf.consumer_id}/{wf.workflow_id}:{node_id}"
 
     def _on_submit_workflow(
-        self, src: NodeId, body: SubmitWorkflow
+        self,
+        src: NodeId,
+        body: SubmitWorkflow,
+        trace: dict[str, str] | None = None,
     ) -> list[Envelope]:
         self.stats.workflows_submitted += 1
         if self._wf_metrics is not None:
@@ -923,6 +939,12 @@ class BrokerCore:
             submitted_at=now,
             spec_fingerprint=spec.fingerprint(),
         )
+        if self._tracer is not None:
+            parent = TraceContext.from_dict(trace)
+            wf.trace_parent = parent
+            wf.trace_ctx = (
+                self._tracer.child(parent) if parent else self._tracer.start_trace()
+            )
         self._workflows[key] = wf
         if self._wf_metrics is not None:
             self._wf_metrics.active.set(len(self._workflows))
@@ -1007,6 +1029,7 @@ class BrokerCore:
                 # A journalled failure for this exact node (recovery, or
                 # a re-run of a failed graph whose outcome was evicted):
                 # the workflow fails the same way it did before.
+                self._record_node_span(wf, node_id, status="failed", now=now)
                 dependents = wf.scheduler.fail(node_id)
                 out.extend(
                     self._finish_workflow(
@@ -1091,6 +1114,15 @@ class BrokerCore:
                 wf.consumer_id, tasklet, tasklet_dict, now
             )
             state.memo_key = memo
+            if self._tracer is not None and wf.trace_ctx is not None:
+                # One ``wf.node`` span per released node, parented on the
+                # ``broker.workflow`` span; the node's ``broker.tasklet``
+                # span parents on it, so the whole graph shares the
+                # consumer's trace id.
+                node_ctx = self._tracer.child(wf.trace_ctx)
+                wf.node_traces[node_id] = (node_ctx, now)
+                state.trace_parent = node_ctx
+                state.trace_ctx = self._tracer.child(node_ctx)
             self._tasklets[node_key] = state
             self._wf_nodes[node_key] = (wf.key, node_id)
             wf.scheduler.mark_running(node_id)
@@ -1122,7 +1154,14 @@ class BrokerCore:
                     wf.consumer_id,
                 )
             )
-            out.extend(self._issue(state, tasklet.qoc.redundancy))
+            peer = self._forward_target()
+            if peer is not None:
+                # No local slot but a gossiped peer has one: workflow
+                # nodes saturate-forward exactly like fresh admissions;
+                # the ForwardComplete routes back through ``_wf_nodes``.
+                out.append(self._forward(state, peer, now))
+            else:
+                out.extend(self._issue(state, tasklet.qoc.redundancy))
         if not wf.done and wf.scheduler.finished:
             out.extend(self._finish_workflow(wf, ok=not wf.scheduler.failed))
         return out
@@ -1131,6 +1170,7 @@ class BrokerCore:
         self, wf: _WorkflowState, node_id: str, value, now: float
     ) -> list[Envelope]:
         """Bookkeeping for a node completed without executing anything."""
+        self._record_node_span(wf, node_id, status="memoized", now=now)
         wf.nodes_memoized += 1
         self.stats.workflow_nodes_memoized += 1
         self.stats.workflow_nodes_completed += 1
@@ -1156,6 +1196,46 @@ class BrokerCore:
             )
         ]
 
+    def _record_node_span(
+        self,
+        wf: _WorkflowState,
+        node_id: str,
+        status: str,
+        now: float,
+        attempts: int = 0,
+    ) -> None:
+        """Record the ``wf.node`` span for one node reaching a terminal
+        state.  ``deps`` ride as an attribute so critical-path analysis
+        can walk the graph from spans alone."""
+        if self._tracer is None or wf.trace_ctx is None:
+            return
+        entry = wf.node_traces.pop(node_id, None)
+        if entry is not None:
+            ctx, ready_at = entry
+        else:
+            # Never released (short-circuited straight from the cache or
+            # journal): a zero-length span keeps the graph complete.
+            ctx, ready_at = self._tracer.child(wf.trace_ctx), now
+        try:
+            deps = list(wf.spec.node(node_id).deps())
+        except (KeyError, WorkflowSpecError):
+            deps = []
+        self._tracer.record(
+            name="wf.node",
+            context=ctx,
+            node=str(self.node_id),
+            start=ready_at,
+            end=now,
+            parent_id=wf.trace_ctx.span_id,
+            status=status,
+            attrs={
+                "workflow_id": wf.workflow_id,
+                "node_id": node_id,
+                "deps": deps,
+                "attempts": attempts,
+            },
+        )
+
     def _on_node_terminal(
         self,
         wf_key: str,
@@ -1169,6 +1249,13 @@ class BrokerCore:
         wf = self._workflows.get(wf_key)
         if wf is None or wf.done:
             return []
+        self._record_node_span(
+            wf,
+            node_id,
+            status="ok" if ok else "failed",
+            now=self.clock.now(),
+            attempts=attempts,
+        )
         self.stats.workflow_nodes_completed += 1
         if self._wf_metrics is not None:
             self._wf_metrics.nodes.labels(
@@ -1297,6 +1384,33 @@ class BrokerCore:
                     dependents=len(outcome["dependents"]),
                     error=error or "",
                 )
+        if self._tracer is not None and wf.trace_ctx is not None:
+            # Dependents that never got released can never run: they get
+            # zero-length ``failed`` spans so every node of the DAG shows
+            # up in the trace.  Nodes still open after that were running
+            # when the graph died — cancelled, not failed (their
+            # ``_on_node_terminal`` is gated on ``wf.done``).
+            for node_id in outcome["dependents"]:
+                if node_id not in wf.node_traces:
+                    self._record_node_span(wf, node_id, status="failed", now=now)
+            for node_id in list(wf.node_traces):
+                self._record_node_span(wf, node_id, status="cancelled", now=now)
+            self._tracer.record(
+                name="broker.workflow",
+                context=wf.trace_ctx,
+                node=str(self.node_id),
+                start=wf.submitted_at,
+                end=now,
+                parent_id=(
+                    wf.trace_parent.span_id if wf.trace_parent else None
+                ),
+                status="ok" if ok else "failed",
+                attrs={
+                    "workflow_id": wf.workflow_id,
+                    "nodes_total": len(wf.spec.nodes),
+                    "nodes_memoized": wf.nodes_memoized,
+                },
+            )
         out.append(
             self._send(self._workflow_complete_message(outcome), wf.consumer_id)
         )
@@ -1338,6 +1452,10 @@ class BrokerCore:
             submitted_at=self.clock.now(),
             spec_fingerprint=spec.fingerprint(),
         )
+        if self._tracer is not None:
+            # The consumer's root context died with the previous
+            # incarnation; the recovered run gets a fresh trace id.
+            wf.trace_ctx = self._tracer.start_trace()
         self._workflows[key] = wf
         self._release_nodes(wf, wf.scheduler.start())
         if self._events is not None:
@@ -1725,6 +1843,12 @@ class BrokerCore:
                 attrs={"tasklet_id": str(state.tasklet_id), "attempts": state.issued},
             )
         out: list[Envelope] = []
+        if state.forward_trace_ctx is not None:
+            # Completion raced an in-flight forward (e.g. workflow
+            # cancellation): close its span so the tree stays connected.
+            self._end_forward_span(
+                state, "cancelled", str(state.forwarded_to or "")
+            )
         # Cancel replicas still in flight and release registry bookkeeping.
         for outstanding in state.outstanding.values():
             # The replica's result is no longer needed; close its span so
@@ -1857,6 +1981,10 @@ class BrokerCore:
         state.forwarded_to = NodeId(peer_id)
         state.forwarded_at = now
         state.forward_acked = False
+        if self._tracer is not None and state.trace_ctx is not None:
+            # The peer parents its ``broker.tasklet`` on this context, so
+            # the forwarded execution stays inside the origin's trace.
+            state.forward_trace_ctx = self._tracer.child(state.trace_ctx)
         self.stats.tasklets_forwarded += 1
         if self._fed_metrics is not None:
             self._fed_metrics.forwards.labels(direction="out").inc()
@@ -1873,7 +2001,7 @@ class BrokerCore:
     def _forward_envelope(self, state: _TaskletState, now: float) -> Envelope:
         """(Re-)send one forward; idempotent on the receiving peer."""
         state.forward_last_sent = now
-        return self._send(
+        envelope = self._send(
             ForwardTasklet(
                 origin_broker=str(self.node_id),
                 consumer_id=str(state.consumer_id),
@@ -1881,6 +2009,9 @@ class BrokerCore:
             ),
             state.forwarded_to,
         )
+        if state.forward_trace_ctx is not None:
+            envelope.trace = state.forward_trace_ctx.to_dict()
+        return envelope
 
     def _forward_complete_of(self, completion: CompletionRecord) -> ForwardComplete:
         """Terminal outcome of forwarded work, rebuilt from the record
@@ -1898,7 +2029,9 @@ class BrokerCore:
             executed_by=completion.executed_by,
         )
 
-    def _on_forward(self, body: ForwardTasklet) -> list[Envelope]:
+    def _on_forward(
+        self, body: ForwardTasklet, trace: dict[str, str] | None = None
+    ) -> list[Envelope]:
         """Admit (or idempotently re-answer) work forwarded by a peer."""
         origin = NodeId(body.origin_broker)
         now = self.clock.now()
@@ -1993,6 +2126,14 @@ class BrokerCore:
         )
         state.memo_key = memo
         state.origin_broker = origin
+        if self._tracer is not None:
+            # Parent on the origin broker's ``broker.forward`` span so the
+            # remote execution lands in the same trace tree.
+            parent = TraceContext.from_dict(trace)
+            state.trace_parent = parent
+            state.trace_ctx = (
+                self._tracer.child(parent) if parent else self._tracer.start_trace()
+            )
         self._tasklets[key] = state
         self.stats.forwards_received += 1
         if self._fed_metrics is not None:
@@ -2036,6 +2177,9 @@ class BrokerCore:
             self._fed_metrics.forward_results.labels(
                 outcome="ok" if body.ok else "failed"
             ).inc()
+        self._end_forward_span(
+            state, "ok" if body.ok else "failed", body.broker_id
+        )
         # _complete cancels any local replicas issued by a racing reclaim,
         # so a peer outcome arriving late still resolves exactly once.
         return self._complete(
@@ -2061,6 +2205,7 @@ class BrokerCore:
         if state.done or state.forwarded_to is None:
             return []
         peer_id = str(state.forwarded_to)
+        self._end_forward_span(state, "reclaimed", peer_id)
         state.forwarded_to = None
         state.forwarded_at = 0.0
         state.forward_acked = False
@@ -2473,6 +2618,25 @@ class BrokerCore:
                 "execution_id": str(outstanding.execution_id),
                 "provider_id": str(outstanding.provider_id),
             },
+        )
+
+    def _end_forward_span(
+        self, state: _TaskletState, status: str, peer_id: str
+    ) -> None:
+        """Close the ``broker.forward`` span for a resolved forward."""
+        ctx = state.forward_trace_ctx
+        if self._tracer is None or ctx is None:
+            return
+        state.forward_trace_ctx = None
+        self._tracer.record(
+            name="broker.forward",
+            context=ctx,
+            node=str(self.node_id),
+            start=state.forwarded_at or state.submitted_at,
+            end=self.clock.now(),
+            parent_id=state.trace_ctx.span_id if state.trace_ctx else None,
+            status=status,
+            attrs={"tasklet_id": str(state.tasklet_id), "peer": peer_id},
         )
 
     def _send(self, body: MessageBody, dst: NodeId) -> Envelope:

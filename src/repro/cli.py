@@ -8,6 +8,7 @@
     python -m repro metrics  --format prom         # telemetered sim run
     python -m repro metrics  --from-url http://127.0.0.1:9150   # live scrape
     python -m repro top      http://127.0.0.1:9150 # live cluster view
+    python -m repro trace    wf-1 --url http://127.0.0.1:9150  # workflow trace
     python -m repro journal  work_journal.jsonl    # inspect broker durability
     python -m repro broker   --port 7070 --broker-id b1 \
                              --peer b2=127.0.0.1:7071   # federated broker
@@ -215,7 +216,126 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_top(health: dict, alerts: list[dict]) -> str:
+#: Width of the ``repro trace`` Gantt bar column, in characters.
+_GANTT_WIDTH = 40
+
+
+def _gantt_bar(start: float, end: float, lo: float, hi: float) -> str:
+    """One timeline bar positioned inside the [lo, hi] window."""
+    window = max(hi - lo, 1e-12)
+    left = int(round((start - lo) / window * _GANTT_WIDTH))
+    right = int(round((end - lo) / window * _GANTT_WIDTH))
+    left = min(max(left, 0), _GANTT_WIDTH)
+    right = min(max(right, left + 1), _GANTT_WIDTH)
+    return "." * left + "#" * (right - left) + "." * (_GANTT_WIDTH - right)
+
+
+def _render_trace(analysis) -> str:
+    """The ``repro trace`` screen: Gantt timeline, critical path,
+    per-provider attribution."""
+    lines = [
+        f"workflow {analysis.workflow_id}  trace {analysis.trace_id}",
+        f"makespan {analysis.makespan * 1e3:.3f} ms  "
+        f"nodes {len(analysis.nodes)}  "
+        f"critical path {' -> '.join(analysis.critical_path) or '(none)'}",
+    ]
+    if analysis.nodes:
+        lines.append("")
+        lines.append(
+            f"{'NODE':<14} {'TIMELINE':<{_GANTT_WIDTH}} {'DUR MS':>9} "
+            f"{'STATUS':<9} {'PROVIDER':<14} {'BROKER':<10}"
+        )
+        critical = set(analysis.critical_path)
+        for node in analysis.nodes:
+            marker = "*" if node.node_id in critical else " "
+            lines.append(
+                f"{marker}{node.node_id:<13} "
+                f"{_gantt_bar(node.start, node.end, analysis.start, analysis.end)} "
+                f"{node.duration * 1e3:>9.3f} {node.status:<9} "
+                f"{node.provider or '-':<14} {node.broker:<10}"
+            )
+        lines.append(f"{'':14} (* = on the critical path)")
+    totals = analysis.phase_totals()
+    critical_s = sum(totals.values())
+    if critical_s > 0:
+        lines.append("")
+        lines.append("critical-path attribution:")
+        for phase in ("scheduling", "queue", "wire", "vm"):
+            value = totals.get(phase, 0.0)
+            share = value / critical_s * 100.0 if critical_s else 0.0
+            lines.append(
+                f"  {phase:<11} {value * 1e3:>9.3f} ms  {share:>5.1f}%"
+            )
+    providers = analysis.provider_attribution()
+    if providers:
+        lines.append("")
+        lines.append(
+            f"{'PROVIDER':<16} {'NODES':>6} {'VM MS':>9} "
+            f"{'CRIT NODES':>11} {'CRIT MS':>9}"
+        )
+        for row in providers:
+            lines.append(
+                f"{row['provider']:<16} {row['nodes']:>6} "
+                f"{row['vm_s'] * 1e3:>9.3f} {row['critical_nodes']:>11} "
+                f"{row['critical_s'] * 1e3:>9.3f}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Reassemble and render one workflow's trace from live ObsServers."""
+    from .obs.analysis import analyze_workflow, chrome_trace_json
+    from .obs.trace import Span
+
+    urls = args.url or ["http://127.0.0.1:9150"]
+    merged: dict[tuple[str, str], Span] = {}
+    reached = 0
+    errors: list[str] = []
+    for url in urls:
+        base = url.rstrip("/")
+        query = f"workflow_id={args.workflow_id}"
+        if len(urls) > 1:
+            # Several explicit URLs: pull each server's local spans and
+            # merge here, instead of letting every server re-scrape its
+            # own peer list.
+            query += "&scope=local"
+        try:
+            data = _fetch_json(f"{base}/traces?{query}&format=json")
+        except TaskletError as exc:
+            errors.append(str(exc))
+            continue
+        reached += 1
+        for item in data.get("spans", []):
+            try:
+                span = Span.from_dict(item)
+            except (KeyError, TypeError, ValueError):
+                continue
+            merged.setdefault((span.trace_id, span.span_id), span)
+    if not reached:
+        raise TaskletError(
+            "no ObsServer reachable: " + "; ".join(errors)
+        )
+    spans = sorted(merged.values(), key=lambda s: (s.start, s.span_id))
+    if args.format == "chrome":
+        print(chrome_trace_json(spans))
+        return 0
+    analysis = analyze_workflow(spans, args.workflow_id)
+    if analysis is None:
+        print(
+            f"error: no trace for workflow {args.workflow_id!r} "
+            f"on {len(urls)} server(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "json":
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_trace(analysis))
+    return 0
+
+
+def _render_top(health: dict, alerts: list[dict],
+                latency: dict | None = None) -> str:
     """The ``repro top`` screen: pool summary, scorecards, alerts."""
     lines = [
         "cluster {node}: status={status}  providers={alive}/{total} alive  "
@@ -303,6 +423,19 @@ def _render_top(health: dict, alerts: list[dict]) -> str:
                 f"{states.get('failed', 0):>5} "
                 f"{entry.get('age_s', 0):>7.1f}s"
             )
+    if latency and latency.get("nodes"):
+        def fmt(key: str) -> str:
+            value = latency.get(key)
+            return f"{value * 1e3:.1f}ms" if value is not None else "-"
+
+        lines.append("")
+        lines.append(
+            f"workflow latency: queue p50={fmt('queue_p50_s')} "
+            f"p95={fmt('queue_p95_s')}  makespan p50={fmt('makespan_p50_s')} "
+            f"p95={fmt('makespan_p95_s')}  "
+            f"({latency.get('workflows', 0)} workflows, "
+            f"{latency.get('nodes', 0)} nodes)"
+        )
     stragglers = health.get("stragglers") or []
     if stragglers:
         lines.append("")
@@ -337,24 +470,32 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     base = args.url.rstrip("/")
 
-    def poll() -> tuple[dict, list[dict]]:
+    def poll() -> tuple[dict, list[dict], dict]:
         health = _fetch_json(f"{base}/healthz")
         events = _fetch_json(f"{base}/events?limit=200").get("events", [])
         alerts = [event for event in events if event.get("kind") in ALERT_KINDS]
-        return health, alerts
+        try:
+            latency = _fetch_json(f"{base}/traces?format=summary")
+        except TaskletError:
+            latency = {}  # older server without the summary endpoint
+        return health, alerts, latency
 
     if args.once:
-        health, alerts = poll()
+        health, alerts, latency = poll()
         if args.format == "json":
             print(
                 json.dumps(
-                    {"health": health, "alerts": alerts},
+                    {
+                        "health": health,
+                        "alerts": alerts,
+                        "workflow_latency": latency,
+                    },
                     indent=2,
                     sort_keys=True,
                 )
             )
         else:
-            print(_render_top(health, alerts))
+            print(_render_top(health, alerts, latency))
         return 0
 
     try:
@@ -652,6 +793,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --once: table (human) or json (machine)",
     )
     top_cmd.set_defaults(handler=_cmd_top)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="reassemble one workflow's trace from live ObsServers",
+        epilog=(
+            "Pulls /traces?workflow_id=... from the given ObsServer(s) and "
+            "renders a Gantt timeline with critical-path and per-provider "
+            "attribution. A single --url lets the server merge spans from "
+            "its configured federation peers; several --url flags merge "
+            "client-side instead (each queried with scope=local). "
+            "--format chrome emits Chrome trace-event JSON for Perfetto."
+        ),
+    )
+    trace_cmd.add_argument("workflow_id", help="workflow id to reassemble")
+    trace_cmd.add_argument(
+        "--url", action="append", metavar="URL",
+        default=None,
+        help="ObsServer base URL (repeatable; default http://127.0.0.1:9150)",
+    )
+    trace_cmd.add_argument(
+        "--format", choices=("table", "json", "chrome"), default="table",
+        help="table (Gantt + attribution), json (analysis document), "
+        "chrome (trace-event JSON)",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     journal_cmd = commands.add_parser(
         "journal",

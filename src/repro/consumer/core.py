@@ -75,6 +75,8 @@ class ConsumerCore:
         self._trace_ctx: dict[TaskletId, TraceContext] = {}
         #: In-flight DAG workflows by workflow id.
         self._workflows: dict[str, WorkflowHandle] = {}
+        #: Root trace context + submit time per in-flight workflow.
+        self._wf_trace: dict[str, tuple[TraceContext, float]] = {}
 
     # -- submission -----------------------------------------------------------
 
@@ -147,16 +149,22 @@ class ConsumerCore:
         """
         spec.validate()
         handle = WorkflowHandle(spec.workflow_id)
+        ctx = self._tracer.start_trace() if self._tracer is not None else None
+        now = self.clock.now()
         with self._lock:
             if spec.workflow_id in self._workflows:
                 raise WorkflowSpecError(
                     f"workflow {spec.workflow_id!r} is already in flight"
                 )
             self._workflows[spec.workflow_id] = handle
+            if ctx is not None:
+                self._wf_trace[spec.workflow_id] = (ctx, now)
             self.stats.workflows_submitted += 1
         envelope = SubmitWorkflow(workflow=spec.to_dict()).envelope(
             src=self.node_id, dst=self.broker
         )
+        if ctx is not None:
+            envelope.trace = ctx.to_dict()
         return handle, [envelope]
 
     def resolve_local(self, tasklet_id: TaskletId, result: TaskletResult) -> None:
@@ -199,6 +207,9 @@ class ConsumerCore:
         now = self.clock.now()
         for handle in workflows:
             self.stats.workflows_failed += 1
+            self._record_workflow_finish(
+                handle.workflow_id, status="broker_unreachable"
+            )
             handle.fail(
                 BrokerUnreachable(
                     f"workflow {handle.workflow_id}: {reason}"
@@ -250,6 +261,7 @@ class ConsumerCore:
                     handle = self._workflows.pop(body.workflow_id, None)
                 if handle is not None:
                     self.stats.workflows_failed += 1
+                    self._record_workflow_finish(body.workflow_id, status="rejected")
                     handle.fail(
                         WorkflowSpecError(
                             f"workflow {body.workflow_id!r} rejected by "
@@ -275,6 +287,14 @@ class ConsumerCore:
             return  # duplicate terminal message
         handle.nodes_total = body.nodes_total
         handle.nodes_memoized = body.nodes_memoized
+        self._record_workflow_finish(
+            body.workflow_id,
+            status="ok" if body.ok else "failed",
+            attrs={
+                "nodes_total": body.nodes_total,
+                "nodes_memoized": body.nodes_memoized,
+            },
+        )
         if body.ok:
             self.stats.workflows_completed += 1
             for node_id in body.outputs:
@@ -380,6 +400,31 @@ class ConsumerCore:
                 status="ok" if ok else (failure_kind or "failed"),
                 attrs={"tasklet_id": str(tasklet_id)},
             )
+
+    def _record_workflow_finish(
+        self,
+        workflow_id: str,
+        status: str,
+        attrs: dict | None = None,
+    ) -> None:
+        """The root ``workflow`` span for one resolved DAG submission."""
+        with self._lock:
+            entry = self._wf_trace.pop(workflow_id, None)
+        if entry is None or self._tracer is None:
+            return
+        ctx, submitted_at = entry
+        span_attrs = {"workflow_id": workflow_id}
+        if attrs:
+            span_attrs.update(attrs)
+        self._tracer.record(
+            name="workflow",
+            context=ctx,
+            node=str(self.node_id),
+            start=submitted_at,
+            end=self.clock.now(),
+            status=status,
+            attrs=span_attrs,
+        )
 
     @staticmethod
     def _failure_kind(error: str | None) -> str:

@@ -26,6 +26,16 @@ Everything is strictly opt-in: every instrumented core takes
 check per event (guarded by ``benchmarks/bench_micro_telemetry.py``).
 """
 
+from .analysis import (
+    NodeTiming,
+    WorkflowTraceAnalysis,
+    analyze_workflow,
+    chrome_trace_json,
+    find_workflow_trace,
+    latency_summary,
+    to_chrome_trace,
+    workflow_ids,
+)
 from .bridge import publish_broker_stats, publish_summary
 from .events import Event, FlightRecorder
 from .health import (
@@ -63,6 +73,7 @@ __all__ = [
     "HealthModel",
     "Histogram",
     "MetricsRegistry",
+    "NodeTiming",
     "ObsServer",
     "ProviderMetrics",
     "ProviderScorecard",
@@ -74,9 +85,16 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "TransportMetrics",
+    "WorkflowTraceAnalysis",
+    "analyze_workflow",
     "build_trace_tree",
+    "chrome_trace_json",
+    "find_workflow_trace",
     "format_trace",
+    "latency_summary",
     "parse_prometheus",
     "publish_broker_stats",
     "publish_summary",
+    "to_chrome_trace",
+    "workflow_ids",
 ]

@@ -11,7 +11,11 @@ TCP broker and providers grow an ``obs_port=`` knob; anything holding a
   when the status is ``unhealthy``;
 * ``GET /readyz``   — readiness probe (503 until the owner is serving);
 * ``GET /traces``   — span-tree dump (``?format=json`` for raw spans,
-  ``?trace_id=`` to select one trace);
+  ``?format=chrome`` for Chrome trace-event JSON loadable in Perfetto,
+  ``?format=summary`` for the workflow latency digest, ``?trace_id=`` to
+  select one trace, ``?workflow_id=`` to select one workflow's trace —
+  merging spans pulled from configured peer ObsServers, so a federated
+  workflow's forwarded executions appear in the same tree);
 * ``GET /events``   — flight-recorder events (``?kind=``, ``?limit=``,
   default 100).
 
@@ -28,10 +32,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
+from urllib.request import urlopen
 
+from .analysis import chrome_trace_json, find_workflow_trace, latency_summary
 from .events import FlightRecorder
 from .telemetry import Telemetry
-from .trace import format_trace
+from .trace import Span, format_trace
 
 #: Default number of events returned by ``/events`` without ``?limit=``.
 DEFAULT_EVENTS_LIMIT = 100
@@ -96,8 +102,34 @@ class _Handler(BaseHTTPRequestHandler):
     def _traces(self, obs: "ObsServer", query: dict[str, str]) -> None:
         store = obs.telemetry.spans
         trace_id = query.get("trace_id")
-        spans = store.for_trace(trace_id) if trace_id else store.spans()
-        if query.get("format") == "json":
+        workflow_id = query.get("workflow_id")
+        spans = store.spans()
+        if workflow_id:
+            # ``scope=local`` marks a peer-to-peer pull: answering it from
+            # local spans only is what keeps the federation from scraping
+            # itself in circles.
+            if query.get("scope") != "local":
+                spans = obs.merged_spans(spans)
+            resolved = find_workflow_trace(spans, workflow_id)
+            spans = (
+                [span for span in spans if span.trace_id == resolved]
+                if resolved
+                else []
+            )
+        elif trace_id:
+            spans = [span for span in spans if span.trace_id == trace_id]
+        fmt = query.get("format")
+        if fmt == "chrome":
+            self._raw(
+                200,
+                chrome_trace_json(spans).encode(),
+                "application/json; charset=utf-8",
+            )
+            return
+        if fmt == "summary":
+            self._json(200, latency_summary(spans))
+            return
+        if fmt == "json":
             self._json(
                 200,
                 {
@@ -151,7 +183,15 @@ class ObsServer:
     (``ok`` / ``degraded`` / ``unhealthy``).  ``ready`` is an optional
     zero-argument callable for ``/readyz``.  Both are invoked on the
     scrape thread, so they must be cheap and thread-safe.
+
+    ``peer_obs_urls`` are the ObsServer base URLs of federation peers;
+    ``/traces?workflow_id=`` pulls their spans (with ``scope=local`` to
+    stop the recursion) and merges them into the answer, so a workflow
+    whose nodes were forwarded across brokers still renders as one tree.
     """
+
+    #: Per-peer scrape timeout for federated span pulls (seconds).
+    PEER_TIMEOUT_S = 2.0
 
     def __init__(
         self,
@@ -162,10 +202,12 @@ class ObsServer:
         role: str = "",
         health: Callable[[], dict[str, Any]] | None = None,
         ready: Callable[[], bool] | None = None,
+        peer_obs_urls: list[str] | None = None,
     ):
         self.telemetry = telemetry
         self.node = node
         self.role = role
+        self.peer_obs_urls = list(peer_obs_urls or [])
         self._health = health
         self._ready = ready
         self._server = ThreadingHTTPServer((host, port), _Handler)
@@ -211,6 +253,33 @@ class ObsServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def merged_spans(self, local_spans: list[Span]) -> list[Span]:
+        """Local spans plus everything scraped from peer ObsServers.
+
+        A dead or slow peer is skipped (per-peer timeout); duplicates —
+        a peer list that includes this server's own URL, or overlapping
+        scrapes — collapse on ``(trace_id, span_id)``.
+        """
+        merged: dict[tuple[str, str], Span] = {
+            (span.trace_id, span.span_id): span for span in local_spans
+        }
+        for url in self.peer_obs_urls:
+            try:
+                with urlopen(
+                    f"{url.rstrip('/')}/traces?format=json&scope=local",
+                    timeout=self.PEER_TIMEOUT_S,
+                ) as response:
+                    data = json.load(response)
+            except Exception:
+                continue  # peer down: render what we have
+            for item in data.get("spans", ()):
+                try:
+                    span = Span.from_dict(item)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                merged.setdefault((span.trace_id, span.span_id), span)
+        return sorted(merged.values(), key=lambda s: (s.start, s.span_id))
 
     def is_ready(self) -> bool:
         if self._ready is None:

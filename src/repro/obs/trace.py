@@ -89,6 +89,23 @@ class Span:
             "attrs": dict(self.attrs),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span scraped from another node's ``/traces`` dump."""
+        parent = data.get("parent_id")
+        attrs = data.get("attrs")
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_id=str(parent) if parent else None,
+            name=str(data.get("name", "")),
+            node=str(data.get("node", "")),
+            start=float(data.get("start", 0.0)),
+            end=float(data.get("end", 0.0)),
+            status=str(data.get("status", "ok")),
+            attrs=dict(attrs) if isinstance(attrs, dict) else {},
+        )
+
 
 class SpanStore:
     """Bounded, thread-safe ring buffer of finished spans."""
@@ -197,19 +214,46 @@ def build_trace_tree(spans: Iterable[Span]) -> list[SpanNode]:
     """Reconstruct the tree(s) for the given spans.
 
     Spans whose parent is missing (evicted from the ring, or recorded on
-    a node whose store was not merged) become roots — a partial trace
-    degrades gracefully instead of vanishing.  Roots and children are
-    ordered by start time.
+    a node whose store was not merged) stay connected: a placeholder span
+    named ``(evicted)`` with ``attrs["evicted"] = True`` is synthesized
+    for the missing parent and the subtree hangs under it, so a partial
+    trace degrades visibly instead of silently shedding subtrees.  Roots
+    and children are ordered by start time.
     """
     nodes = {span.span_id: SpanNode(span) for span in spans}
     roots: list[SpanNode] = []
+    placeholders: dict[str, SpanNode] = {}
     for node in nodes.values():
-        parent = nodes.get(node.span.parent_id) if node.span.parent_id else None
-        if parent is None or parent is node:
-            roots.append(node)
-        else:
+        parent_id = node.span.parent_id
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is node:
+            parent = None
+        if parent is not None:
             parent.children.append(node)
-    for node in nodes.values():
+        elif parent_id:
+            holder = placeholders.get(parent_id)
+            if holder is None:
+                holder = SpanNode(
+                    Span(
+                        trace_id=node.span.trace_id,
+                        span_id=parent_id,
+                        parent_id=None,
+                        name="(evicted)",
+                        node="?",
+                        start=node.span.start,
+                        end=node.span.end,
+                        status="evicted",
+                        attrs={"evicted": True},
+                    )
+                )
+                placeholders[parent_id] = holder
+                roots.append(holder)
+            holder.span.start = min(holder.span.start, node.span.start)
+            holder.span.end = max(holder.span.end, node.span.end)
+            holder.children.append(node)
+        else:
+            roots.append(node)
+    for node in list(nodes.values()) + list(placeholders.values()):
         node.children.sort(key=lambda child: (child.span.start, child.span.span_id))
     roots.sort(key=lambda root: (root.span.start, root.span.span_id))
     return roots

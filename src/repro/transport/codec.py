@@ -95,6 +95,13 @@ _PACKED_TYPE_NAMES = (
     "submit_tasklet",
     "submit_ack",
     "tasklet_complete",
+    "submit_workflow",
+    "workflow_ack",
+    "workflow_update",
+    "workflow_complete",
+    "forward_tasklet",
+    "forward_ack",
+    "forward_complete",
 )
 FIELD_TABLES: dict[str, tuple[str, ...]] = {
     name: tuple(f.name for f in dataclasses.fields(MESSAGE_TYPES[name]))

@@ -254,7 +254,9 @@ class TcpBroker:
     gossip/forward traffic into the core like any other connection.
     ``peer_journals`` (peer id -> journal path) additionally enables
     journal handoff: when a peer is declared dead and this broker is its
-    successor, the peer's journal is adopted.
+    successor, the peer's journal is adopted.  ``peer_obs_urls`` (peer id
+    -> ObsServer base URL) lets this broker's ``/traces?workflow_id=``
+    endpoint merge peer spans, so federated workflow traces render whole.
     """
 
     def __init__(
@@ -273,6 +275,7 @@ class TcpBroker:
         broker_id: str | None = None,
         peers: dict[str, tuple[str, int]] | None = None,
         peer_journals: dict[str, str] | None = None,
+        peer_obs_urls: dict[str, str] | None = None,
         gossip_interval: float = 1.0,
         codec: str = "binary",
     ):
@@ -350,6 +353,7 @@ class TcpBroker:
                 role="broker",
                 health=self._health_document,
                 ready=self._running.is_set,
+                peer_obs_urls=list((peer_obs_urls or {}).values()),
             )
             if obs_port is not None and telemetry is not None
             else None

@@ -247,3 +247,112 @@ class TestJournalRecovery:
         assert handle.result(0) == first.result(0)
         assert handle.nodes_memoized == handle.nodes_total == 3
         simulation.broker.journal.close()
+
+
+class TestWorkflowTracing:
+    """One workflow = one trace, reconstructable from the shared store."""
+
+    def _traced_run(self, spec):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        simulation = Simulation(seed=7, telemetry=telemetry)
+        for config in make_pool({"desktop": 2, "laptop": 2}, seed=7):
+            simulation.add_provider(config)
+        consumer = simulation.add_consumer()
+        handle = consumer.submit_workflow(spec)
+        simulation.run(max_time=1e5)
+        return handle, telemetry.spans.spans()
+
+    def test_diamond_produces_one_connected_trace(self):
+        from repro.obs import build_trace_tree, find_workflow_trace
+
+        handle, spans = self._traced_run(diamond())
+        assert handle.result(0) == {"sink": 162}
+        trace_id = find_workflow_trace(spans, "diamond")
+        assert trace_id is not None
+        trace_spans = [s for s in spans if s.trace_id == trace_id]
+        names = {s.name for s in trace_spans}
+        assert names >= {
+            "workflow",
+            "broker.workflow",
+            "wf.node",
+            "broker.tasklet",
+            "broker.assign",
+            "provider.execute",
+        }
+        # Every node span landed in the same trace, exactly once each.
+        node_ids = sorted(
+            s.attrs["node_id"] for s in trace_spans if s.name == "wf.node"
+        )
+        assert node_ids == ["left", "right", "sink", "src"]
+        # The tree is fully connected: one root, the consumer's span.
+        roots = build_trace_tree(trace_spans)
+        assert len(roots) == 1
+        assert roots[0].span.name == "workflow"
+        assert roots[0].span.attrs.get("evicted") is None
+
+    def test_analysis_reconstructs_critical_path(self):
+        from repro.obs import analyze_workflow
+
+        handle, spans = self._traced_run(diamond())
+        handle.result(0)
+        analysis = analyze_workflow(spans, "diamond")
+        assert analysis is not None
+        assert analysis.critical_path[0] == "src"
+        assert analysis.critical_path[-1] == "sink"
+        assert len(analysis.critical_path) == 3
+        # Acceptance criterion: critical-path phase times sum to within
+        # 10% of the workflow makespan.
+        total = sum(analysis.phase_totals().values())
+        assert analysis.makespan > 0
+        assert abs(total - analysis.makespan) / analysis.makespan < 0.10
+        providers = analysis.provider_attribution()
+        assert providers and all(row["provider"] for row in providers)
+
+    def test_memoized_rerun_records_memoized_node_spans(self):
+        from repro.obs import Telemetry, find_workflow_trace
+
+        telemetry = Telemetry()
+        simulation = Simulation(seed=7, telemetry=telemetry)
+        for config in make_pool({"desktop": 2}, seed=7):
+            simulation.add_provider(config)
+        consumer = simulation.add_consumer()
+        spec = diamond()
+        first = consumer.submit_workflow(spec)
+        simulation.run(max_time=1e5)
+        first.result(0)
+
+        rerun = WorkflowSpec.from_dict(
+            {**spec.to_dict(), "workflow_id": "diamond-rerun"}
+        )
+        handle = consumer.submit_workflow(rerun)
+        simulation.run(max_time=1e5)
+        assert handle.nodes_memoized == handle.nodes_total
+        spans = telemetry.spans.spans()
+        trace_id = find_workflow_trace(spans, "diamond-rerun")
+        node_spans = [
+            s
+            for s in spans
+            if s.trace_id == trace_id and s.name == "wf.node"
+        ]
+        assert len(node_spans) == 4
+        assert all(s.status == "memoized" for s in node_spans)
+
+    def test_failed_workflow_trace_marks_failed_and_cancelled_nodes(self):
+        from repro.obs import find_workflow_trace
+
+        builder = WorkflowBuilder("doomed")
+        builder.node(BAD, args=[1], node_id="bad")
+        builder.node(SQUARE, args=[from_node("bad")], node_id="dependent")
+        handle, spans = self._traced_run(builder.build())
+        with pytest.raises(WorkflowFailed):
+            handle.result(0)
+        trace_id = find_workflow_trace(spans, "doomed")
+        by_node = {
+            s.attrs["node_id"]: s
+            for s in spans
+            if s.trace_id == trace_id and s.name == "wf.node"
+        }
+        assert by_node["bad"].status == "failed"
+        assert by_node["dependent"].status == "failed"

@@ -137,6 +137,128 @@ class TestTracesEndpoint:
         doc = json.loads(body)
         assert [span["name"] for span in doc["spans"]] == ["keep"]
 
+    def _record_workflow(self, telemetry, workflow_id="wf-1", offset=0.0):
+        """A minimal broker.workflow + wf.node pair; returns the trace id."""
+        root = telemetry.tracer.start_trace()
+        node = telemetry.tracer.child(root)
+        telemetry.tracer.record(
+            name="wf.node", context=node, node="b1",
+            start=offset + 0.1, end=offset + 0.9, parent_id=root.span_id,
+            attrs={"workflow_id": workflow_id, "node_id": "a", "deps": []},
+        )
+        telemetry.tracer.record(
+            name="broker.workflow", context=root, node="b1",
+            start=offset, end=offset + 1.0,
+            attrs={"workflow_id": workflow_id},
+        )
+        return root.trace_id
+
+    def test_workflow_id_filter_selects_one_workflow(self, telemetry):
+        keep = self._record_workflow(telemetry, "wf-keep")
+        self._record_workflow(telemetry, "wf-other", offset=5.0)
+        with ObsServer(telemetry) as server:
+            _, _, body = get(
+                f"{server.url}/traces?format=json&workflow_id=wf-keep"
+            )
+        doc = json.loads(body)
+        assert doc["spans"], "workflow filter returned nothing"
+        assert {span["trace_id"] for span in doc["spans"]} == {keep}
+
+    def test_unknown_workflow_id_returns_empty(self, telemetry):
+        self._record_workflow(telemetry)
+        with ObsServer(telemetry) as server:
+            _, _, body = get(
+                f"{server.url}/traces?format=json&workflow_id=nope"
+            )
+        assert json.loads(body)["spans"] == []
+
+    def test_chrome_format_is_trace_event_json(self, telemetry):
+        self._record_workflow(telemetry)
+        with ObsServer(telemetry) as server:
+            status, headers, body = get(f"{server.url}/traces?format=chrome")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        doc = json.loads(body)
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+
+    def test_summary_format_is_latency_digest(self, telemetry):
+        self._record_workflow(telemetry)
+        with ObsServer(telemetry) as server:
+            _, _, body = get(f"{server.url}/traces?format=summary")
+        doc = json.loads(body)
+        assert doc["workflows"] == 1
+        assert doc["nodes"] == 1
+        assert "makespan_p50_s" in doc and "queue_p50_s" in doc
+
+
+class TestFederatedTraces:
+    def test_workflow_query_merges_peer_spans(self):
+        # Broker b1 holds the workflow spans; b2 holds a forwarded
+        # execution of the same trace.  Querying b1 must return both.
+        local, remote = Telemetry(), Telemetry()
+        root = local.tracer.start_trace()
+        local.tracer.record(
+            name="broker.workflow", context=root, node="b1",
+            start=0.0, end=2.0, attrs={"workflow_id": "wf-fed"},
+        )
+        remote.tracer.record(
+            name="broker.tasklet", context=remote.tracer.child(root),
+            node="b2", start=0.5, end=1.5, parent_id=root.span_id,
+        )
+        with ObsServer(remote, node="b2") as peer:
+            with ObsServer(
+                local, node="b1", peer_obs_urls=[peer.url]
+            ) as server:
+                _, _, body = get(
+                    f"{server.url}/traces?format=json&workflow_id=wf-fed"
+                )
+        doc = json.loads(body)
+        assert {span["node"] for span in doc["spans"]} == {"b1", "b2"}
+        assert {span["trace_id"] for span in doc["spans"]} == {root.trace_id}
+
+    def test_scope_local_skips_peer_pull(self):
+        local, remote = Telemetry(), Telemetry()
+        root = local.tracer.start_trace()
+        local.tracer.record(
+            name="broker.workflow", context=root, node="b1",
+            start=0.0, end=2.0, attrs={"workflow_id": "wf-fed"},
+        )
+        remote.tracer.record(
+            name="broker.tasklet", context=remote.tracer.child(root),
+            node="b2", start=0.5, end=1.5, parent_id=root.span_id,
+        )
+        with ObsServer(remote, node="b2") as peer:
+            with ObsServer(
+                local, node="b1", peer_obs_urls=[peer.url]
+            ) as server:
+                _, _, body = get(
+                    f"{server.url}/traces?format=json"
+                    "&workflow_id=wf-fed&scope=local"
+                )
+        doc = json.loads(body)
+        assert {span["node"] for span in doc["spans"]} == {"b1"}
+
+    def test_dead_peer_is_skipped(self):
+        local = Telemetry()
+        root = local.tracer.start_trace()
+        local.tracer.record(
+            name="broker.workflow", context=root, node="b1",
+            start=0.0, end=2.0, attrs={"workflow_id": "wf-fed"},
+        )
+        server = ObsServer(
+            local, node="b1", peer_obs_urls=["http://127.0.0.1:1"]
+        )
+        server.PEER_TIMEOUT_S = 0.2
+        with server:
+            _, _, body = get(
+                f"{server.url}/traces?format=json&workflow_id=wf-fed"
+            )
+        doc = json.loads(body)
+        assert len(doc["spans"]) == 1
+
 
 class TestEventsEndpoint:
     def test_events_with_kind_and_limit(self, telemetry):

@@ -106,10 +106,45 @@ class TestTreeReconstruction:
         assert [c.span.span_id for c in children] == ["early_child", "late_child"]
         assert children[0].children[0].span.span_id == "grandchild"
 
-    def test_orphans_become_roots(self):
-        spans = [span("orphan", parent_id="evicted"), span("root")]
+    def test_orphans_hang_under_evicted_placeholder(self):
+        spans = [span("orphan", parent_id="gone"), span("root")]
         roots = build_trace_tree(spans)
-        assert {r.span.span_id for r in roots} == {"orphan", "root"}
+        assert {r.span.span_id for r in roots} == {"gone", "root"}
+        placeholder = next(r for r in roots if r.span.span_id == "gone")
+        assert placeholder.span.name == "(evicted)"
+        assert placeholder.span.attrs["evicted"] is True
+        assert placeholder.span.status == "evicted"
+        assert [c.span.span_id for c in placeholder.children] == ["orphan"]
+
+    def test_sibling_orphans_share_one_placeholder(self):
+        spans = [
+            span("a", parent_id="gone", start=1.0, end=2.0),
+            span("b", parent_id="gone", start=0.5, end=1.5),
+        ]
+        roots = build_trace_tree(spans)
+        assert len(roots) == 1
+        holder = roots[0]
+        assert holder.span.span_id == "gone"
+        # Placeholder bounds cover all its children.
+        assert holder.span.start == 0.5 and holder.span.end == 2.0
+        assert [c.span.span_id for c in holder.children] == ["b", "a"]
+
+    def test_store_smaller_than_one_trace_keeps_subtree_connected(self):
+        # The root span is evicted by the ring; reconstruction must not
+        # silently drop the surviving children.
+        store = SpanStore(capacity=2)
+        store.add(span("root", start=0.0))
+        store.add(span("child1", parent_id="root", start=1.0))
+        store.add(span("child2", parent_id="root", start=2.0))  # evicts root
+        assert store.dropped == 1
+        roots = build_trace_tree(store.spans())
+        assert len(roots) == 1
+        assert roots[0].span.span_id == "root"
+        assert roots[0].span.attrs.get("evicted") is True
+        assert {c.span.span_id for c in roots[0].children} == {
+            "child1",
+            "child2",
+        }
 
     def test_self_parent_does_not_loop(self):
         roots = build_trace_tree([span("weird", parent_id="weird")])

@@ -273,6 +273,144 @@ class TestObsCli:
         assert code == 1
         assert "cannot reach" in capsys.readouterr().err
 
+    def test_top_once_json_carries_workflow_latency(self, obs_server, capsys):
+        code = main(["top", obs_server.url, "--once", "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        # No workflow spans recorded on this fixture: an empty digest.
+        assert doc["workflow_latency"] == {"workflows": 0, "nodes": 0}
+
+
+def _workflow_spans(trace_id="t1", workflow_id="wf-1"):
+    """A two-node chain (a -> b) with the full span hierarchy."""
+    from repro.obs.trace import Span
+
+    wf = {"workflow_id": workflow_id}
+
+    def span(span_id, parent_id, name, start, end, node="b1", **attrs):
+        return Span(
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+            name=name, node=node, start=start, end=end, attrs=attrs,
+        )
+
+    return [
+        span("bw", None, "broker.workflow", 0.0, 9.8, **wf),
+        span("na", "bw", "wf.node", 0.1, 4.0, node_id="a", deps=[], **wf),
+        span("ta", "na", "broker.tasklet", 0.2, 3.9),
+        span("aa", "ta", "broker.assign", 1.0, 3.8),
+        span("ea", "aa", "provider.execute", 1.5, 3.5, node="p1"),
+        span("nb", "bw", "wf.node", 4.0, 9.0, node_id="b", deps=["a"], **wf),
+        span("tb", "nb", "broker.tasklet", 4.1, 8.9),
+        span("ab", "tb", "broker.assign", 5.0, 8.8),
+        span("eb", "ab", "provider.execute", 5.5, 8.5, node="p2"),
+    ]
+
+
+@pytest.fixture
+def workflow_obs_server():
+    """An ObsServer whose span store holds one finished workflow."""
+    from repro.obs import ObsServer, Telemetry
+
+    telemetry = Telemetry()
+    for span in _workflow_spans():
+        telemetry.spans.add(span)
+    with ObsServer(telemetry, node="b1", role="broker") as server:
+        yield server
+
+
+class TestTraceCli:
+    """`repro trace` against live ObsServers."""
+
+    def test_table_renders_gantt_and_attribution(
+        self, workflow_obs_server, capsys
+    ):
+        code = main(["trace", "wf-1", "--url", workflow_obs_server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workflow wf-1" in out
+        assert "critical path a -> b" in out
+        assert "NODE" in out and "TIMELINE" in out
+        assert "*a" in out and "*b" in out  # both nodes critical
+        assert "critical-path attribution:" in out
+        for phase in ("scheduling", "queue", "wire", "vm"):
+            assert phase in out
+        assert "PROVIDER" in out and "p1" in out and "p2" in out
+
+    def test_json_analysis_document(self, workflow_obs_server, capsys):
+        code = main(
+            ["trace", "wf-1", "--url", workflow_obs_server.url,
+             "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workflow_id"] == "wf-1"
+        assert doc["critical_path"] == ["a", "b"]
+        assert abs(doc["makespan"] - 9.8) < 1e-9
+        # Acceptance criterion: critical phase sums within 10% of makespan.
+        total = sum(doc["phase_totals"].values())
+        assert abs(total - doc["makespan"]) / doc["makespan"] < 0.10
+
+    def test_chrome_output_is_trace_event_json(
+        self, workflow_obs_server, capsys
+    ):
+        code = main(
+            ["trace", "wf-1", "--url", workflow_obs_server.url,
+             "--format", "chrome"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+
+    def test_multiple_urls_merge_client_side(self, capsys):
+        from repro.obs import ObsServer, Telemetry
+
+        spans = _workflow_spans()
+        first, second = Telemetry(), Telemetry()
+        for span in spans[:4]:
+            first.spans.add(span)
+        for span in spans[4:]:
+            second.spans.add(span)
+        with ObsServer(first, node="b1") as one:
+            with ObsServer(second, node="b2") as two:
+                code = main(
+                    ["trace", "wf-1", "--url", one.url, "--url", two.url,
+                     "--format", "json"]
+                )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["critical_path"] == ["a", "b"]
+        assert len(doc["nodes"]) == 2
+
+    def test_unknown_workflow_errors(self, workflow_obs_server, capsys):
+        code = main(["trace", "nope", "--url", workflow_obs_server.url])
+        assert code == 1
+        assert "no trace for workflow" in capsys.readouterr().err
+
+    def test_unreachable_server_errors(self, capsys):
+        code = main(["trace", "wf-1", "--url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "no ObsServer reachable" in capsys.readouterr().err
+
+    def test_top_reports_latency_from_workflow_spans(
+        self, workflow_obs_server, capsys
+    ):
+        code = main(
+            ["top", workflow_obs_server.url, "--once", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        latency = doc["workflow_latency"]
+        assert latency["workflows"] == 1
+        assert latency["nodes"] == 2
+        assert abs(latency["makespan_p50_s"] - 9.8) < 1e-9
+
+    def test_top_table_shows_latency_line(self, workflow_obs_server, capsys):
+        assert main(["top", workflow_obs_server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "workflow latency:" in out
+        assert "makespan p50=9800.0ms" in out
+
 
 @pytest.fixture
 def journal_file(tmp_path):

@@ -138,6 +138,57 @@ def test_field_tables_pin_dataclass_field_order():
         assert table == declared, f"{type_name} wire order drifted"
 
 
+def _binary_flags(frame: bytes) -> int:
+    """Parse a bin1 frame down to its flags byte (header layout test)."""
+    from repro.transport.codec import _unpack_str, _unpack_varint
+
+    body = frame[4:]  # strip the length prefix
+    assert body[0] == MAGIC_BINARY
+    pos = 1
+    tag = body[pos]
+    pos += 1
+    if tag == 0:
+        _, pos = _unpack_str(body, pos)
+    _, pos = _unpack_str(body, pos)  # src
+    _, pos = _unpack_str(body, pos)  # dst
+    _, pos = _unpack_varint(body, pos)  # seq
+    return body[pos]
+
+
+@pytest.mark.parametrize(
+    "body",
+    [b for b in SAMPLE_BODIES if b.TYPE in FIELD_TABLES],
+    ids=lambda b: b.TYPE,
+)
+def test_trace_context_survives_field_packing(body):
+    # Regression: the forward/workflow types joined the field-packed set;
+    # a TraceContext riding any hot message must survive bin1 unchanged,
+    # and the body must actually take the field-packed path (flag 0x02).
+    envelope = body.envelope(src=NodeId("n1"), dst=NodeId("broker"))
+    envelope.trace = {"trace_id": "tr-abc-1", "span_id": "sp-abc-9"}
+    frame = encode_envelope(envelope, CODEC_BINARY)
+    flags = _binary_flags(frame)
+    assert flags & 0x01, f"{body.TYPE}: trace flag not set"
+    assert flags & 0x02, f"{body.TYPE}: body not field-packed"
+    decoded = roundtrip(envelope, CODEC_BINARY)
+    assert decoded.trace == envelope.trace
+    assert decoded.payload == envelope.payload
+    assert body_of(decoded) == body
+
+
+def test_forward_and_workflow_types_are_field_packed():
+    for name in (
+        "submit_workflow",
+        "workflow_ack",
+        "workflow_update",
+        "workflow_complete",
+        "forward_tasklet",
+        "forward_ack",
+        "forward_complete",
+    ):
+        assert name in FIELD_TABLES, f"{name} lost its field table"
+
+
 def test_binary_is_smaller_than_json_for_hot_messages():
     envelope = Heartbeat(provider_id="prov-1", free_slots=3, sent_at=12.5).envelope(
         NodeId("prov-1"), NodeId("broker")
